@@ -1,0 +1,224 @@
+//! First-order optimizers.
+//!
+//! The paper trains GNMR with Adam (lr `1e-3`, decay rate 0.96); the
+//! Frobenius regularization `lambda * ||Theta||_F^2` of Eq. 7 is applied
+//! here as coupled L2 weight decay (`grad += 2 * lambda * w`), which is
+//! its exact gradient.
+
+use std::collections::HashMap;
+
+use gnmr_tensor::Matrix;
+
+use crate::params::{Grads, ParamStore};
+
+/// Plain stochastic gradient descent with optional L2 weight decay.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Coupled L2 coefficient (the paper's `lambda`, applied as `2*lambda*w`).
+    pub weight_decay: f32,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate and no weight decay.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, weight_decay: 0.0 }
+    }
+
+    /// Applies one update step.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &Grads) {
+        let names: Vec<String> = store.names().map(str::to_string).collect();
+        for name in names {
+            if let Some(g) = grads.get(&name) {
+                let wd = self.weight_decay;
+                let lr = self.lr;
+                let w = store.get_mut(&name);
+                if wd > 0.0 {
+                    let mut eff = g.clone();
+                    eff.add_scaled_assign(w, 2.0 * wd);
+                    w.add_scaled_assign(&eff, -lr);
+                } else {
+                    w.add_scaled_assign(g, -lr);
+                }
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with coupled L2 weight decay and optional
+/// exponential learning-rate decay, matching the paper's training setup.
+pub struct Adam {
+    /// Base learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Coupled L2 coefficient (the paper's `lambda`).
+    pub weight_decay: f32,
+    /// Multiplicative lr decay applied per epoch via [`Adam::decay_lr`]
+    /// (the paper uses 0.96).
+    pub lr_decay: f32,
+    t: u64,
+    m: HashMap<String, Matrix>,
+    v: HashMap<String, Matrix>,
+}
+
+impl Adam {
+    /// Adam with the paper's defaults: `beta1=0.9`, `beta2=0.999`,
+    /// `eps=1e-8`, no weight decay, lr decay 0.96.
+    pub fn new(lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            lr_decay: 0.96,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
+    }
+
+    /// Sets the coupled L2 coefficient, builder-style.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies the per-epoch exponential learning-rate decay.
+    pub fn decay_lr(&mut self) {
+        self.lr *= self.lr_decay;
+    }
+
+    /// Applies one update step.
+    pub fn step(&mut self, store: &mut ParamStore, grads: &Grads) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let names: Vec<String> = store.names().map(str::to_string).collect();
+        for name in names {
+            let Some(g) = grads.get(&name) else { continue };
+            let w = store.get(&name).clone();
+            let mut eff = g.clone();
+            if self.weight_decay > 0.0 {
+                eff.add_scaled_assign(&w, 2.0 * self.weight_decay);
+            }
+            let m = self
+                .m
+                .entry(name.clone())
+                .or_insert_with(|| Matrix::zeros(w.rows(), w.cols()));
+            m.scale_assign(self.beta1);
+            m.add_scaled_assign(&eff, 1.0 - self.beta1);
+            let v = self
+                .v
+                .entry(name.clone())
+                .or_insert_with(|| Matrix::zeros(w.rows(), w.cols()));
+            v.scale_assign(self.beta2);
+            let g_sq = eff.hadamard(&eff);
+            v.add_scaled_assign(&g_sq, 1.0 - self.beta2);
+
+            let m = &self.m[&name];
+            let v = &self.v[&name];
+            let lr = self.lr;
+            let eps = self.eps;
+            let target = store.get_mut(&name);
+            for i in 0..target.data().len() {
+                let m_hat = m.data()[i] / bc1;
+                let v_hat = v.data()[i] / bc2;
+                target.data_mut()[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Ctx;
+    use gnmr_tensor::Matrix;
+
+    /// Minimizes `sum((w - target)^2)` and checks convergence.
+    fn quadratic_converges(mut step: impl FnMut(&mut ParamStore, &Grads)) -> f32 {
+        let mut store = ParamStore::new();
+        store.insert("w", Matrix::from_vec(1, 3, vec![5.0, -4.0, 2.0]));
+        let target = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        for _ in 0..500 {
+            let mut ctx = Ctx::new(&store);
+            let w = ctx.param("w");
+            let t = ctx.constant(target.clone());
+            let d = ctx.g.sub(w, t);
+            let sq = ctx.g.sqr(d);
+            let loss = ctx.g.sum(sq);
+            let grads = ctx.grads(loss);
+            step(&mut store, &grads);
+        }
+        store.get("w").max_abs_diff(&target)
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let mut opt = Sgd::new(0.05);
+        let err = quadratic_converges(|s, g| opt.step(s, g));
+        assert!(err < 1e-3, "SGD did not converge: err {err}");
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let mut opt = Adam::new(0.05);
+        let err = quadratic_converges(|s, g| opt.step(s, g));
+        assert!(err < 1e-2, "Adam did not converge: err {err}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        // With a zero-gradient loss, weight decay alone must shrink weights.
+        let mut store = ParamStore::new();
+        store.insert("w", Matrix::filled(1, 2, 4.0));
+        let mut opt = Sgd::new(0.1);
+        opt.weight_decay = 0.5;
+        for _ in 0..10 {
+            let mut ctx = Ctx::new(&store);
+            let w = ctx.param("w");
+            let z = ctx.g.scale(w, 0.0);
+            let loss = ctx.g.sum(z);
+            let grads = ctx.grads(loss);
+            opt.step(&mut store, &grads);
+        }
+        assert!(store.get("w").max_abs() < 4.0 * 0.95f32.powi(9));
+    }
+
+    #[test]
+    fn adam_lr_decay() {
+        let mut opt = Adam::new(1.0);
+        opt.decay_lr();
+        assert!((opt.lr - 0.96).abs() < 1e-6);
+        opt.decay_lr();
+        assert!((opt.lr - 0.9216).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_counts_steps_and_skips_missing_grads() {
+        let mut store = ParamStore::new();
+        store.insert("a", Matrix::ones(1, 1));
+        store.insert("b", Matrix::ones(1, 1));
+        let mut opt = Adam::new(0.1);
+        let mut ctx = Ctx::new(&store);
+        let a = ctx.param("a");
+        let loss = ctx.g.sum(a);
+        let grads = ctx.grads(loss);
+        opt.step(&mut store, &grads);
+        assert_eq!(opt.steps(), 1);
+        // "b" had no gradient and must be untouched.
+        assert_eq!(store.get("b").scalar_value(), 1.0);
+        assert!(store.get("a").scalar_value() < 1.0);
+    }
+}

@@ -1,0 +1,379 @@
+//! Named parameter storage and per-step tape binding.
+//!
+//! Parameters live in a [`ParamStore`] across training steps. Each step, a
+//! [`Ctx`] binds them as leaves on a fresh [`Graph`]; after the forward
+//! pass, [`Ctx::grads`] runs backward and returns the named gradients,
+//! which an optimizer applies back to the store.
+
+use std::collections::{BTreeMap, HashMap};
+
+use gnmr_tensor::Matrix;
+
+use crate::tape::{Graph, Var};
+
+/// A named collection of trainable matrices.
+///
+/// Uses a `BTreeMap` so iteration order (and therefore optimizer update
+/// order and any floating-point accumulation order) is deterministic.
+#[derive(Default, Clone)]
+pub struct ParamStore {
+    entries: BTreeMap<String, Matrix>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter.
+    ///
+    /// # Panics
+    /// If the name is already taken (parameter names must be unique).
+    pub fn insert(&mut self, name: impl Into<String>, value: Matrix) {
+        let name = name.into();
+        let prev = self.entries.insert(name.clone(), value);
+        assert!(prev.is_none(), "ParamStore::insert: duplicate parameter {name:?}");
+    }
+
+    /// Looks up a parameter.
+    ///
+    /// # Panics
+    /// If the name is unknown (a typo is a programmer error).
+    pub fn get(&self, name: &str) -> &Matrix {
+        self.entries
+            .get(name)
+            .unwrap_or_else(|| panic!("ParamStore::get: unknown parameter {name:?}"))
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, name: &str) -> &mut Matrix {
+        self.entries
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("ParamStore::get_mut: unknown parameter {name:?}"))
+    }
+
+    /// Whether a parameter with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Parameter names in deterministic (sorted) order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.keys().map(String::as_str)
+    }
+
+    /// Iterates `(name, value)` pairs in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Matrix)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of parameters (tensors).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of scalar weights.
+    pub fn num_scalars(&self) -> usize {
+        self.entries.values().map(Matrix::len).sum()
+    }
+
+    /// Squared Frobenius norm over all parameters (the `||Theta||_F^2`
+    /// regularization term of the paper's Eq. 7).
+    pub fn l2_norm_sq(&self) -> f32 {
+        self.entries.values().map(Matrix::frobenius_norm_sq).sum()
+    }
+
+    /// Whether every parameter is finite.
+    pub fn all_finite(&self) -> bool {
+        self.entries.values().all(Matrix::is_finite)
+    }
+}
+
+/// Named gradients produced by one backward pass.
+#[derive(Default, Clone)]
+pub struct Grads {
+    entries: HashMap<String, Matrix>,
+}
+
+impl Grads {
+    /// Gradient for a parameter, if it participated in the loss.
+    pub fn get(&self, name: &str) -> Option<&Matrix> {
+        self.entries.get(name)
+    }
+
+    /// Iterates over `(name, grad)` pairs (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Matrix)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of gradients present.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no gradients are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Global L2 norm across all gradients.
+    pub fn global_norm(&self) -> f32 {
+        self.entries
+            .values()
+            .map(Matrix::frobenius_norm_sq)
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales all gradients so the global norm is at most `max_norm`.
+    /// Returns the factor applied (1.0 if no clipping happened).
+    pub fn clip_global_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.global_norm();
+        if norm > max_norm && norm > 0.0 {
+            let factor = max_norm / norm;
+            for m in self.entries.values_mut() {
+                m.scale_assign(factor);
+            }
+            factor
+        } else {
+            1.0
+        }
+    }
+}
+
+/// A per-step binding of a [`ParamStore`] onto a fresh [`Graph`].
+///
+/// Binding the same name twice returns the same `Var`, so gradients from
+/// every use accumulate on a single leaf.
+pub struct Ctx<'s> {
+    /// The underlying tape; models call op methods directly on it.
+    pub g: Graph,
+    store: &'s ParamStore,
+    bound: HashMap<String, Var>,
+}
+
+impl<'s> Ctx<'s> {
+    /// Starts a new step over `store`.
+    pub fn new(store: &'s ParamStore) -> Self {
+        Self { g: Graph::new(), store, bound: HashMap::new() }
+    }
+
+    /// Binds (or re-uses) the parameter `name` as a tape leaf.
+    pub fn param(&mut self, name: &str) -> Var {
+        if let Some(&v) = self.bound.get(name) {
+            return v;
+        }
+        let v = self.g.input(self.store.get(name).clone());
+        self.bound.insert(name.to_string(), v);
+        v
+    }
+
+    /// Convenience: records a non-parameter constant.
+    pub fn constant(&mut self, m: Matrix) -> Var {
+        self.g.input(m)
+    }
+
+    /// Runs backward from `loss` and extracts gradients for every bound
+    /// parameter that participated in it.
+    pub fn grads(mut self, loss: Var) -> Grads {
+        self.g.backward(loss);
+        let mut entries = HashMap::with_capacity(self.bound.len());
+        for (name, var) in self.bound {
+            if let Some(grad) = self.g.grad(var) {
+                entries.insert(name, grad.clone());
+            }
+        }
+        Grads { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(names: &[(&str, Matrix)]) -> ParamStore {
+        let mut s = ParamStore::new();
+        for (n, m) in names {
+            s.insert(*n, m.clone());
+        }
+        s
+    }
+
+    #[test]
+    fn store_basics() {
+        let s = store_with(&[("b", Matrix::ones(1, 2)), ("a", Matrix::ones(2, 2))]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.num_scalars(), 6);
+        assert!((s.l2_norm_sq() - 6.0).abs() < 1e-6);
+        let names: Vec<_> = s.names().collect();
+        assert_eq!(names, vec!["a", "b"]); // sorted order
+        assert!(s.contains("a"));
+        assert!(!s.contains("c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate parameter")]
+    fn duplicate_insert_panics() {
+        let mut s = ParamStore::new();
+        s.insert("w", Matrix::ones(1, 1));
+        s.insert("w", Matrix::ones(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parameter")]
+    fn unknown_get_panics() {
+        let s = ParamStore::new();
+        let _ = s.get("nope");
+    }
+
+    #[test]
+    fn ctx_binds_once_and_accumulates() {
+        let s = store_with(&[("w", Matrix::from_vec(1, 2, vec![3.0, 4.0]))]);
+        let mut ctx = Ctx::new(&s);
+        let w1 = ctx.param("w");
+        let w2 = ctx.param("w");
+        assert_eq!(w1, w2);
+        // loss = sum(w) + sum(w * w)
+        let s1 = ctx.g.sum(w1);
+        let sq = ctx.g.mul(w1, w2);
+        let s2 = ctx.g.sum(sq);
+        let loss = ctx.g.add(s1, s2);
+        let grads = ctx.grads(loss);
+        // d/dw = 1 + 2w = [7, 9]
+        assert_eq!(grads.get("w").unwrap().data(), &[7.0, 9.0]);
+    }
+
+    #[test]
+    fn grads_without_participation_absent() {
+        let s = store_with(&[("used", Matrix::ones(1, 1)), ("unused", Matrix::ones(1, 1))]);
+        let mut ctx = Ctx::new(&s);
+        let u = ctx.param("used");
+        let _nu = ctx.param("unused");
+        let loss = ctx.g.sum(u);
+        let grads = ctx.grads(loss);
+        assert!(grads.get("used").is_some());
+        assert!(grads.get("unused").is_none());
+    }
+
+    #[test]
+    fn clip_global_norm_scales() {
+        let s = store_with(&[("w", Matrix::from_vec(1, 2, vec![30.0, 40.0]))]);
+        let mut ctx = Ctx::new(&s);
+        let w = ctx.param("w");
+        let sq = ctx.g.sqr(w);
+        let half = ctx.g.scale(sq, 0.5);
+        let loss = ctx.g.sum(half);
+        let mut grads = ctx.grads(loss); // grad = w = [30, 40], norm 50
+        assert!((grads.global_norm() - 50.0).abs() < 1e-4);
+        let f = grads.clip_global_norm(5.0);
+        assert!((f - 0.1).abs() < 1e-6);
+        assert!((grads.global_norm() - 5.0).abs() < 1e-4);
+        // No-op when under the limit.
+        assert_eq!(grads.clip_global_norm(100.0), 1.0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Persistence
+// ---------------------------------------------------------------------
+
+impl ParamStore {
+    /// Serializes the store to a simple line-oriented text format:
+    /// one `name<TAB>rows<TAB>cols<TAB>v0 v1 ...` record per parameter.
+    /// Values round-trip exactly (hex float encoding).
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(out, "gnmr-params v1 {}", self.entries.len())?;
+        for (name, m) in &self.entries {
+            write!(out, "{name}\t{}\t{}\t", m.rows(), m.cols())?;
+            for (i, v) in m.data().iter().enumerate() {
+                if i > 0 {
+                    write!(out, " ")?;
+                }
+                write!(out, "{:08x}", v.to_bits())?;
+            }
+            writeln!(out)?;
+        }
+        out.flush()
+    }
+
+    /// Loads a store written by [`ParamStore::save`].
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        use std::io::BufRead;
+        let reader = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut lines = reader.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "empty file"))??;
+        if !header.starts_with("gnmr-params v1") {
+            return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "bad header"));
+        }
+        let mut store = ParamStore::new();
+        for line in lines {
+            let line = line?;
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(4, '\t');
+            let bad = || std::io::Error::new(std::io::ErrorKind::InvalidData, "bad record");
+            let name = parts.next().ok_or_else(bad)?;
+            let rows: usize = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            let cols: usize = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+            let values = parts.next().ok_or_else(bad)?;
+            let data: Vec<f32> = values
+                .split(' ')
+                .filter(|s| !s.is_empty())
+                .map(|s| u32::from_str_radix(s, 16).map(f32::from_bits).map_err(|_| bad()))
+                .collect::<Result<_, _>>()?;
+            if data.len() != rows * cols {
+                return Err(bad());
+            }
+            store.insert(name, Matrix::from_vec(rows, cols, data));
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+    use gnmr_tensor::init;
+    use gnmr_tensor::rng::seeded;
+
+    #[test]
+    fn save_load_roundtrip_is_exact() {
+        let mut store = ParamStore::new();
+        let mut rng = seeded(1);
+        store.insert("layer.w", init::normal(7, 5, 0.0, 2.0, &mut rng));
+        store.insert("layer.b", Matrix::zeros(1, 5));
+        store.insert("odd/name with spaces", init::uniform(2, 3, -1e-30, 1e30, &mut rng));
+
+        let path = std::env::temp_dir().join(format!("gnmr_params_{}.txt", std::process::id()));
+        store.save(&path).unwrap();
+        let loaded = ParamStore::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(loaded.len(), store.len());
+        for (name, m) in store.iter() {
+            let l = loaded.get(name);
+            assert_eq!(l.shape(), m.shape());
+            // Bit-exact round-trip.
+            assert_eq!(l.data(), m.data(), "param {name} not bit-exact");
+        }
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = std::env::temp_dir().join(format!("gnmr_garbage_{}.txt", std::process::id()));
+        std::fs::write(&path, "not a param file\n").unwrap();
+        assert!(ParamStore::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,693 @@
+//! The reverse-mode autodiff tape.
+//!
+//! [`Graph`] is a define-by-run tape: every operation eagerly computes its
+//! value and records how to backpropagate through it. A fresh graph is
+//! built for every training step (parameters live outside the graph in a
+//! [`crate::params::ParamStore`] and are bound as leaves each step).
+//!
+//! Shapes are validated eagerly when an op is recorded, so a mis-shaped
+//! model fails at construction time with a clear message rather than
+//! during backward.
+
+use std::sync::Arc;
+
+use gnmr_tensor::{stats, Csr, Matrix};
+
+/// A handle to a node in a [`Graph`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+/// How a node was produced; drives the backward pass.
+#[derive(Clone)]
+enum Op {
+    Leaf,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Scale(Var, f32),
+    // The scalar is applied eagerly in the forward pass and the gradient
+    // passes through unchanged, so only the parent is stored.
+    AddScalar(Var),
+    Neg(Var),
+    MatMul(Var, Var),
+    Transpose(Var),
+    Relu(Var),
+    LeakyRelu(Var, f32),
+    Sigmoid(Var),
+    Tanh(Var),
+    Exp(Var),
+    Ln(Var),
+    Sqr(Var),
+    Softplus(Var),
+    SoftmaxRows(Var),
+    SumAll(Var),
+    MeanAll(Var),
+    RowSums(Var),
+    ColSums(Var),
+    ConcatCols(Vec<Var>),
+    SliceCols(Var, usize, usize),
+    GatherRows(Var, Arc<Vec<u32>>),
+    AddRowBroadcast(Var, Var),
+    MulColBroadcast(Var, Var),
+    RowDot(Var, Var),
+    Spmm(Arc<Csr>, Var),
+    SpmmT(Arc<Csr>, Var),
+    Dropout(Var, Arc<Vec<f32>>),
+}
+
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+}
+
+/// A reverse-mode autodiff tape over [`Matrix`] values.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        debug_assert!(value.is_finite() || cfg!(not(debug_assertions)), "non-finite value recorded on tape");
+        self.nodes.push(Node { value, grad: None, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Records a leaf holding `m`. Gradients accumulate on leaves and can
+    /// be read back with [`Graph::grad`] after [`Graph::backward`].
+    pub fn input(&mut self, m: Matrix) -> Var {
+        self.push(m, Op::Leaf)
+    }
+
+    /// The value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// The gradient of a node (available after [`Graph::backward`] if the
+    /// node participated in the loss).
+    pub fn grad(&self, v: Var) -> Option<&Matrix> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// The shape of a node's value.
+    pub fn shape(&self, v: Var) -> (usize, usize) {
+        self.nodes[v.0].value.shape()
+    }
+
+    // ----- elementwise binary ---------------------------------------------
+
+    /// Element-wise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Element-wise (Hadamard) product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).hadamard(self.value(b));
+        self.push(v, Op::Mul(a, b))
+    }
+
+    // ----- elementwise unary ----------------------------------------------
+
+    /// Multiplication by a constant.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).scale(s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// Addition of a constant to every element.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).map(|x| x + s);
+        self.push(v, Op::AddScalar(a))
+    }
+
+    /// Negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let v = self.value(a).scale(-1.0);
+        self.push(v, Op::Neg(a))
+    }
+
+    /// `1 - x` (composite of [`Graph::neg`] and [`Graph::add_scalar`]).
+    pub fn one_minus(&mut self, a: Var) -> Var {
+        let n = self.neg(a);
+        self.add_scalar(n, 1.0)
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(stats::relu);
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Leaky ReLU with the given negative slope.
+    pub fn leaky_relu(&mut self, a: Var, slope: f32) -> Var {
+        let v = self.value(a).map(|x| stats::leaky_relu(x, slope));
+        self.push(v, Op::LeakyRelu(a, slope))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(stats::sigmoid);
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Element-wise exponential.
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::exp);
+        self.push(v, Op::Exp(a))
+    }
+
+    /// Element-wise natural logarithm. Inputs must be positive.
+    pub fn ln(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::ln);
+        self.push(v, Op::Ln(a))
+    }
+
+    /// Element-wise square.
+    pub fn sqr(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x * x);
+        self.push(v, Op::Sqr(a))
+    }
+
+    /// Numerically stable `ln(1 + e^x)`.
+    pub fn softplus(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| {
+            if x > 20.0 {
+                x
+            } else if x < -20.0 {
+                x.exp()
+            } else {
+                x.exp().ln_1p()
+            }
+        });
+        self.push(v, Op::Softplus(a))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax_rows(&mut self, a: Var) -> Var {
+        let v = stats::softmax_rows(self.value(a));
+        self.push(v, Op::SoftmaxRows(a))
+    }
+
+    /// Inverted-scale dropout with keep mask `mask` (entries `0` or
+    /// `1/(1-p)`); the mask is applied identically in forward and backward.
+    pub fn dropout(&mut self, a: Var, mask: Arc<Vec<f32>>) -> Var {
+        assert_eq!(mask.len(), self.value(a).len(), "dropout: mask length mismatch");
+        let val = self.value(a);
+        let mut v = val.clone();
+        for (x, &m) in v.data_mut().iter_mut().zip(mask.iter()) {
+            *x *= m;
+        }
+        self.push(v, Op::Dropout(a, mask))
+    }
+
+    // ----- linear algebra ---------------------------------------------------
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: Var) -> Var {
+        let v = self.value(a).transpose();
+        self.push(v, Op::Transpose(a))
+    }
+
+    /// Sparse x dense product with a constant CSR (no gradient flows into
+    /// the sparse matrix).
+    pub fn spmm(&mut self, csr: Arc<Csr>, x: Var) -> Var {
+        let v = csr.spmm(self.value(x));
+        self.push(v, Op::Spmm(csr, x))
+    }
+
+    /// Transposed sparse x dense product `csr^T * x` with a constant CSR.
+    pub fn spmm_t(&mut self, csr: Arc<Csr>, x: Var) -> Var {
+        let v = csr.spmm_t(self.value(x));
+        self.push(v, Op::SpmmT(csr, x))
+    }
+
+    // ----- reductions ---------------------------------------------------
+
+    /// Sum of all elements, as a `1 x 1` node.
+    pub fn sum(&mut self, a: Var) -> Var {
+        let v = Matrix::scalar(self.value(a).sum());
+        self.push(v, Op::SumAll(a))
+    }
+
+    /// Mean of all elements, as a `1 x 1` node.
+    pub fn mean(&mut self, a: Var) -> Var {
+        let v = Matrix::scalar(self.value(a).mean());
+        self.push(v, Op::MeanAll(a))
+    }
+
+    /// Per-row sums: `(n, d) -> (n, 1)`.
+    pub fn row_sums(&mut self, a: Var) -> Var {
+        let v = self.value(a).row_sums();
+        self.push(v, Op::RowSums(a))
+    }
+
+    /// Per-column sums: `(n, d) -> (1, d)`.
+    pub fn col_sums(&mut self, a: Var) -> Var {
+        let v = self.value(a).col_sums();
+        self.push(v, Op::ColSums(a))
+    }
+
+    // ----- shape ---------------------------------------------------------
+
+    /// Horizontal concatenation.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols: no parts");
+        let mats: Vec<&Matrix> = parts.iter().map(|&p| self.value(p)).collect();
+        let v = Matrix::concat_cols(&mats);
+        self.push(v, Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Column slice `[start, end)`.
+    pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
+        let v = self.value(a).slice_cols(start, end);
+        self.push(v, Op::SliceCols(a, start, end))
+    }
+
+    /// Gathers rows of `a` by index (embedding lookup). Gradients
+    /// scatter-add back into the source rows.
+    pub fn gather_rows(&mut self, a: Var, indices: Arc<Vec<u32>>) -> Var {
+        let v = self.value(a).gather_rows(&indices);
+        self.push(v, Op::GatherRows(a, indices))
+    }
+
+    // ----- broadcasts ------------------------------------------------------
+
+    /// Adds a `1 x d` row vector to every row of an `n x d` matrix.
+    pub fn add_row_broadcast(&mut self, a: Var, row: Var) -> Var {
+        let v = self.value(a).add_row_broadcast(self.value(row));
+        self.push(v, Op::AddRowBroadcast(a, row))
+    }
+
+    /// Scales row `r` of an `n x d` matrix by `col[r]` (`col` is `n x 1`).
+    pub fn mul_col_broadcast(&mut self, a: Var, col: Var) -> Var {
+        let v = self.value(a).mul_col_broadcast(self.value(col));
+        self.push(v, Op::MulColBroadcast(a, col))
+    }
+
+    /// Row-wise dot product of two `n x d` matrices, giving `n x 1`.
+    pub fn row_dot(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).row_dot(self.value(b));
+        self.push(v, Op::RowDot(a, b))
+    }
+
+    /// Broadcasts a `1 x d` row vector to `n x d`.
+    pub fn broadcast_row_to(&mut self, row: Var, n: usize) -> Var {
+        let d = self.shape(row).1;
+        let zeros = self.input(Matrix::zeros(n, d));
+        self.add_row_broadcast(zeros, row)
+    }
+
+    // ----- backward -------------------------------------------------------
+
+    /// Backpropagates from `loss` (must be `1 x 1`), filling gradients of
+    /// every node that `loss` depends on.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(self.shape(loss), (1, 1), "backward: loss must be 1x1, got {:?}", self.shape(loss));
+        for n in &mut self.nodes {
+            n.grad = None;
+        }
+        self.nodes[loss.0].grad = Some(Matrix::scalar(1.0));
+
+        for i in (0..=loss.0).rev() {
+            let Some(g) = self.nodes[i].grad.clone() else { continue };
+            let op = self.nodes[i].op.clone();
+            let contributions = self.backward_op(i, &op, &g);
+            for (var, m) in contributions {
+                self.accumulate(var, m);
+            }
+        }
+    }
+
+    fn accumulate(&mut self, v: Var, m: Matrix) {
+        match &mut self.nodes[v.0].grad {
+            Some(g) => g.add_assign(&m),
+            slot @ None => *slot = Some(m),
+        }
+    }
+
+    /// Gradient contributions of node `i` (with output grad `g`) to its
+    /// parents.
+    fn backward_op(&self, i: usize, op: &Op, g: &Matrix) -> Vec<(Var, Matrix)> {
+        let out = &self.nodes[i].value;
+        match op {
+            Op::Leaf => Vec::new(),
+            Op::Add(a, b) => vec![(*a, g.clone()), (*b, g.clone())],
+            Op::Sub(a, b) => vec![(*a, g.clone()), (*b, g.scale(-1.0))],
+            Op::Mul(a, b) => {
+                let da = g.hadamard(self.value(*b));
+                let db = g.hadamard(self.value(*a));
+                vec![(*a, da), (*b, db)]
+            }
+            Op::Scale(a, s) => vec![(*a, g.scale(*s))],
+            Op::AddScalar(a) => vec![(*a, g.clone())],
+            Op::Neg(a) => vec![(*a, g.scale(-1.0))],
+            Op::MatMul(a, b) => {
+                let da = g.matmul_nt(self.value(*b));
+                let db = self.value(*a).matmul_tn(g);
+                vec![(*a, da), (*b, db)]
+            }
+            Op::Transpose(a) => vec![(*a, g.transpose())],
+            Op::Relu(a) => {
+                let da = g.zip_map(out, |gi, yi| if yi > 0.0 { gi } else { 0.0 });
+                vec![(*a, da)]
+            }
+            Op::LeakyRelu(a, slope) => {
+                let x = self.value(*a);
+                let da = g.zip_map(x, |gi, xi| if xi > 0.0 { gi } else { gi * slope });
+                vec![(*a, da)]
+            }
+            Op::Sigmoid(a) => {
+                let da = g.zip_map(out, |gi, yi| gi * yi * (1.0 - yi));
+                vec![(*a, da)]
+            }
+            Op::Tanh(a) => {
+                let da = g.zip_map(out, |gi, yi| gi * (1.0 - yi * yi));
+                vec![(*a, da)]
+            }
+            Op::Exp(a) => vec![(*a, g.hadamard(out))],
+            Op::Ln(a) => {
+                let x = self.value(*a);
+                vec![(*a, g.zip_map(x, |gi, xi| gi / xi))]
+            }
+            Op::Sqr(a) => {
+                let x = self.value(*a);
+                vec![(*a, g.zip_map(x, |gi, xi| 2.0 * gi * xi))]
+            }
+            Op::Softplus(a) => {
+                let x = self.value(*a);
+                vec![(*a, g.zip_map(x, |gi, xi| gi * stats::sigmoid(xi)))]
+            }
+            Op::SoftmaxRows(a) => {
+                // dx = y * (g - rowsum(g * y))
+                let gy = g.hadamard(out);
+                let row_totals = gy.row_sums();
+                let mut da = Matrix::zeros(out.rows(), out.cols());
+                for r in 0..out.rows() {
+                    let t = row_totals.get(r, 0);
+                    let (yrow, grow) = (out.row(r), g.row(r));
+                    let drow = da.row_mut(r);
+                    for c in 0..yrow.len() {
+                        drow[c] = yrow[c] * (grow[c] - t);
+                    }
+                }
+                vec![(*a, da)]
+            }
+            Op::SumAll(a) => {
+                let (r, c) = self.shape(*a);
+                vec![(*a, Matrix::filled(r, c, g.scalar_value()))]
+            }
+            Op::MeanAll(a) => {
+                let (r, c) = self.shape(*a);
+                let n = (r * c) as f32;
+                vec![(*a, Matrix::filled(r, c, g.scalar_value() / n))]
+            }
+            Op::RowSums(a) => {
+                let (r, c) = self.shape(*a);
+                let mut da = Matrix::zeros(r, c);
+                for i in 0..r {
+                    let gi = g.get(i, 0);
+                    for v in da.row_mut(i) {
+                        *v = gi;
+                    }
+                }
+                vec![(*a, da)]
+            }
+            Op::ColSums(a) => {
+                let (r, c) = self.shape(*a);
+                let mut da = Matrix::zeros(r, c);
+                for i in 0..r {
+                    da.row_mut(i).copy_from_slice(g.row(0));
+                }
+                vec![(*a, da)]
+            }
+            Op::ConcatCols(parts) => {
+                let mut offset = 0;
+                let mut contributions = Vec::with_capacity(parts.len());
+                for &p in parts {
+                    let w = self.shape(p).1;
+                    contributions.push((p, g.slice_cols(offset, offset + w)));
+                    offset += w;
+                }
+                contributions
+            }
+            Op::SliceCols(a, start, end) => {
+                let (r, c) = self.shape(*a);
+                let mut da = Matrix::zeros(r, c);
+                for i in 0..r {
+                    da.row_mut(i)[*start..*end].copy_from_slice(g.row(i));
+                }
+                vec![(*a, da)]
+            }
+            Op::GatherRows(a, indices) => {
+                let (r, c) = self.shape(*a);
+                let mut da = Matrix::zeros(r, c);
+                for (o, &idx) in indices.iter().enumerate() {
+                    let dst = da.row_mut(idx as usize);
+                    for (d, s) in dst.iter_mut().zip(g.row(o)) {
+                        *d += s;
+                    }
+                }
+                vec![(*a, da)]
+            }
+            Op::AddRowBroadcast(a, row) => vec![(*a, g.clone()), (*row, g.col_sums())],
+            Op::MulColBroadcast(a, col) => {
+                let da = g.mul_col_broadcast(self.value(*col));
+                let dcol = g.row_dot(self.value(*a));
+                vec![(*a, da), (*col, dcol)]
+            }
+            Op::RowDot(a, b) => {
+                let da = self.value(*b).mul_col_broadcast(g);
+                let db = self.value(*a).mul_col_broadcast(g);
+                vec![(*a, da), (*b, db)]
+            }
+            Op::Spmm(csr, x) => vec![(*x, csr.spmm_t(g))],
+            Op::SpmmT(csr, x) => vec![(*x, csr.spmm(g))],
+            Op::Dropout(a, mask) => {
+                let mut da = g.clone();
+                for (v, &m) in da.data_mut().iter_mut().zip(mask.iter()) {
+                    *v *= m;
+                }
+                vec![(*a, da)]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_values() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_vec(1, 2, vec![2.0, -3.0]));
+        let r = g.relu(a);
+        assert_eq!(g.value(r).data(), &[2.0, 0.0]);
+        let s = g.sigmoid(a);
+        assert!((g.value(s).get(0, 0) - stats::sigmoid(2.0)).abs() < 1e-6);
+        let sum = g.sum(a);
+        assert_eq!(g.value(sum).scalar_value(), -1.0);
+    }
+
+    #[test]
+    fn backward_through_simple_chain() {
+        // loss = sum((a * b) + a) => dl/da = b + 1, dl/db = a
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_vec(1, 2, vec![2.0, 3.0]));
+        let b = g.input(Matrix::from_vec(1, 2, vec![5.0, -1.0]));
+        let ab = g.mul(a, b);
+        let s = g.add(ab, a);
+        let loss = g.sum(s);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().data(), &[6.0, 0.0]);
+        assert_eq!(g.grad(b).unwrap().data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_matmul() {
+        // loss = sum(A @ B); dA = ones @ B^T, dB = A^T @ ones
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = g.input(Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]));
+        let c = g.matmul(a, b);
+        let loss = g.sum(c);
+        g.backward(loss);
+        let da = g.grad(a).unwrap();
+        // ones(2x2) @ B^T: each row = [5+6, 7+8] = [11, 15]
+        assert_eq!(da.row(0), &[11.0, 15.0]);
+        assert_eq!(da.row(1), &[11.0, 15.0]);
+        let db = g.grad(b).unwrap();
+        // A^T @ ones: row k = sum of A[:,k] repeated
+        assert_eq!(db.row(0), &[4.0, 4.0]);
+        assert_eq!(db.row(1), &[6.0, 6.0]);
+    }
+
+    #[test]
+    fn gradient_accumulates_across_uses() {
+        // loss = sum(a) + sum(a) => da = 2
+        let mut g = Graph::new();
+        let a = g.input(Matrix::ones(2, 2));
+        let s1 = g.sum(a);
+        let s2 = g.sum(a);
+        let loss = g.add(s1, s2);
+        g.backward(loss);
+        assert!(g.grad(a).unwrap().approx_eq(&Matrix::filled(2, 2, 2.0), 1e-6));
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let mut g = Graph::new();
+        let table = g.input(Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f32));
+        let picked = g.gather_rows(table, Arc::new(vec![1, 1, 3]));
+        assert_eq!(g.value(picked).row(0), &[2.0, 3.0]);
+        let loss = g.sum(picked);
+        g.backward(loss);
+        let grad = g.grad(table).unwrap();
+        // Row 1 was used twice, row 3 once, rows 0/2 never.
+        assert_eq!(grad.row(0), &[0.0, 0.0]);
+        assert_eq!(grad.row(1), &[2.0, 2.0]);
+        assert_eq!(grad.row(2), &[0.0, 0.0]);
+        assert_eq!(grad.row(3), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn spmm_backward_matches_dense() {
+        let csr = Arc::new(Csr::from_triplets(3, 2, &[(0, 0, 1.0), (1, 1, 2.0), (2, 0, -1.0)]));
+        let xm = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+
+        let mut g = Graph::new();
+        let x = g.input(xm.clone());
+        let y = g.spmm(Arc::clone(&csr), x);
+        let loss = g.sum(y);
+        g.backward(loss);
+        let sparse_grad = g.grad(x).unwrap().clone();
+
+        let mut g2 = Graph::new();
+        let dense_a = g2.input(csr.to_dense());
+        let x2 = g2.input(xm);
+        let y2 = g2.matmul(dense_a, x2);
+        let loss2 = g2.sum(y2);
+        g2.backward(loss2);
+        assert!(sparse_grad.approx_eq(g2.grad(x2).unwrap(), 1e-5));
+    }
+
+    #[test]
+    fn softmax_rows_grad_sums_to_zero() {
+        // Softmax output is shift-invariant, so grads along each row sum to 0
+        // when downstream grad is arbitrary.
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_vec(2, 3, vec![0.5, -1.0, 2.0, 0.0, 0.1, 0.2]));
+        let s = g.softmax_rows(a);
+        let w = g.input(Matrix::from_vec(2, 3, vec![1.0, -2.0, 0.5, 3.0, 0.0, 1.0]));
+        let p = g.mul(s, w);
+        let loss = g.sum(p);
+        g.backward(loss);
+        let da = g.grad(a).unwrap();
+        for r in 0..2 {
+            let s: f32 = da.row(r).iter().sum();
+            assert!(s.abs() < 1e-5, "row {r} grad sum {s}");
+        }
+    }
+
+    #[test]
+    fn broadcast_ops_backward_shapes() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::ones(3, 2));
+        let bias = g.input(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        let col = g.input(Matrix::from_vec(3, 1, vec![2.0, 3.0, 4.0]));
+        let x = g.add_row_broadcast(a, bias);
+        let y = g.mul_col_broadcast(x, col);
+        let loss = g.sum(y);
+        g.backward(loss);
+        assert_eq!(g.grad(bias).unwrap().shape(), (1, 2));
+        assert_eq!(g.grad(col).unwrap().shape(), (3, 1));
+        // d/dbias = sum over rows of col = 2+3+4 = 9 for each bias column.
+        assert_eq!(g.grad(bias).unwrap().data(), &[9.0, 9.0]);
+        // d/dcol[r] = sum of (a+bias) row r = (1+1) + (1+2) = 5.
+        assert_eq!(g.grad(col).unwrap().data(), &[5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn concat_slice_backward() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::ones(2, 2));
+        let b = g.input(Matrix::ones(2, 3));
+        let c = g.concat_cols(&[a, b]);
+        let sl = g.slice_cols(c, 1, 4);
+        let loss = g.sum(sl);
+        g.backward(loss);
+        // Columns 1 of a and 0..2 of b are in the slice.
+        assert_eq!(g.grad(a).unwrap().row(0), &[0.0, 1.0]);
+        assert_eq!(g.grad(b).unwrap().row(0), &[1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn row_dot_backward() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let b = g.input(Matrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]));
+        let d = g.row_dot(a, b);
+        assert_eq!(g.value(d).data(), &[17.0, 53.0]);
+        let loss = g.sum(d);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().data(), &[5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(g.grad(b).unwrap().data(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be 1x1")]
+    fn backward_requires_scalar() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::ones(2, 2));
+        g.backward(a);
+    }
+
+    #[test]
+    fn dropout_masks_forward_and_backward() {
+        let mut g = Graph::new();
+        let a = g.input(Matrix::ones(1, 4));
+        let mask = Arc::new(vec![0.0, 2.0, 0.0, 2.0]);
+        let d = g.dropout(a, mask);
+        assert_eq!(g.value(d).data(), &[0.0, 2.0, 0.0, 2.0]);
+        let loss = g.sum(d);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().data(), &[0.0, 2.0, 0.0, 2.0]);
+    }
+}

@@ -1,0 +1,110 @@
+//! ItemKNN: cosine item-item co-occurrence scoring on the target
+//! behavior.
+//!
+//! Not part of the paper's Table II — included as a non-learned
+//! collaborative reference point (it is a strong floor on small data and
+//! useful for diagnosing generators and learned models).
+
+use gnmr_eval::Recommender;
+use gnmr_graph::MultiBehaviorGraph;
+
+/// A fitted ItemKNN scorer.
+pub struct ItemKnn {
+    n_items: usize,
+    /// Row-major `n_items x n_items` cosine co-occurrence.
+    sim: Vec<f32>,
+    /// Per-user target-behavior item lists.
+    user_items: Vec<Vec<u32>>,
+}
+
+impl ItemKnn {
+    /// Builds the cosine co-occurrence matrix from the target behavior.
+    ///
+    /// Memory is `O(n_items^2)`; intended for harness-scale catalogues.
+    pub fn fit(graph: &MultiBehaviorGraph) -> Self {
+        let j = graph.n_items();
+        let target = graph.target_user_item();
+        let mut counts = vec![0f32; j];
+        let mut sim = vec![0f32; j * j];
+        for u in 0..graph.n_users() {
+            let (items, _) = target.row(u);
+            for &a in items {
+                counts[a as usize] += 1.0;
+            }
+            for &a in items {
+                let row = &mut sim[a as usize * j..(a as usize + 1) * j];
+                for &b in items {
+                    if a != b {
+                        row[b as usize] += 1.0;
+                    }
+                }
+            }
+        }
+        for a in 0..j {
+            for b in 0..j {
+                let denom = (counts[a] * counts[b]).sqrt();
+                if denom > 0.0 {
+                    sim[a * j + b] /= denom;
+                }
+            }
+        }
+        let user_items = (0..graph.n_users()).map(|u| target.row(u).0.to_vec()).collect();
+        Self { n_items: j, sim, user_items }
+    }
+
+    /// Similarity between two items.
+    pub fn similarity(&self, a: u32, b: u32) -> f32 {
+        self.sim[a as usize * self.n_items + b as usize]
+    }
+}
+
+impl Recommender for ItemKnn {
+    fn score(&self, user: u32, items: &[u32]) -> Vec<f32> {
+        let history = &self.user_items[user as usize];
+        items
+            .iter()
+            .map(|&i| history.iter().map(|&h| self.similarity(i, h)).sum())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnmr_data::presets;
+    use gnmr_eval::{evaluate, RandomRecommender};
+
+    #[test]
+    fn beats_random_without_training() {
+        let d = presets::tiny_movielens(3);
+        let knn = ItemKnn::fit(&d.graph);
+        let r = evaluate(&knn, &d.test, &[10]);
+        let rnd = evaluate(&RandomRecommender::new(1), &d.test, &[10]);
+        assert!(r.hr_at(10) > rnd.hr_at(10) + 0.1, "ItemKNN {:.3} vs random {:.3}", r.hr_at(10), rnd.hr_at(10));
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_zero_diagonal() {
+        let d = presets::tiny_movielens(3);
+        let knn = ItemKnn::fit(&d.graph);
+        for a in 0..20u32 {
+            assert_eq!(knn.similarity(a, a), 0.0);
+            for b in 0..20u32 {
+                assert!((knn.similarity(a, b) - knn.similarity(b, a)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn cooccurring_items_are_similar() {
+        let d = presets::tiny_movielens(3);
+        let knn = ItemKnn::fit(&d.graph);
+        // Take a user with >= 2 liked items: those items co-occur.
+        let target = d.graph.target();
+        let user = (0..d.graph.n_users() as u32)
+            .find(|&u| d.graph.user_degree(u, target) >= 2)
+            .expect("some user has 2+ likes");
+        let items = d.graph.user_items(user, target);
+        assert!(knn.similarity(items[0], items[1]) > 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Cost ablations of the design choices called out in DESIGN.md section 5:
+//! memory dimensions C, attention heads S, neighbor normalization, and
+//! the double-residual variant. (Accuracy ablations are produced by the
+//! repro_* binaries; these benches measure their computational cost.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnmr::autograd::Ctx;
+use gnmr::prelude::*;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500))
+}
+
+fn forward_cost(c: &mut Criterion, label: &str, cfg: GnmrConfig) {
+    let data = gnmr::data::presets::tiny_movielens(7);
+    let model = Gnmr::new(&data.graph, cfg);
+    c.bench_function(label, |b| {
+        b.iter(|| {
+            let mut ctx = Ctx::new(model.params());
+            std::hint::black_box(model.forward(&mut ctx));
+        });
+    });
+}
+
+fn bench_memory_dims(c: &mut Criterion) {
+    for mem in [1usize, 4, 8, 16] {
+        forward_cost(
+            c,
+            &format!("eta_memory_dims_C{mem}"),
+            GnmrConfig { memory_dims: mem, pretrain: false, ..GnmrConfig::default() },
+        );
+    }
+}
+
+fn bench_heads(c: &mut Criterion) {
+    for heads in [1usize, 2, 4] {
+        forward_cost(
+            c,
+            &format!("attention_heads_S{heads}"),
+            GnmrConfig { heads, pretrain: false, ..GnmrConfig::default() },
+        );
+    }
+}
+
+fn bench_norms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbor_norm");
+    let data = gnmr::data::presets::tiny_movielens(7);
+    for norm in NeighborNorm::all() {
+        let model = Gnmr::new(
+            &data.graph,
+            GnmrConfig { norm, pretrain: false, ..GnmrConfig::default() },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(norm.label()), &norm, |b, _| {
+            b.iter(|| {
+                let mut ctx = Ctx::new(model.params());
+                std::hint::black_box(model.forward(&mut ctx));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_residual_and_variants(c: &mut Criterion) {
+    forward_cost(
+        c,
+        "double_residual",
+        GnmrConfig { double_residual: true, pretrain: false, ..GnmrConfig::default() },
+    );
+    forward_cost(
+        c,
+        "variant_gnmr_be",
+        GnmrConfig { variant: GnmrVariant::without_type_embedding(), pretrain: false, ..GnmrConfig::default() },
+    );
+    forward_cost(
+        c,
+        "variant_gnmr_ma",
+        GnmrConfig { variant: GnmrVariant::without_message_aggregation(), pretrain: false, ..GnmrConfig::default() },
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_memory_dims, bench_heads, bench_norms, bench_residual_and_variants
+}
+criterion_main!(benches);

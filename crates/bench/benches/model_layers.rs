@@ -1,0 +1,71 @@
+//! Benchmarks of GNMR's forward/backward passes and of the evaluation
+//! protocol throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnmr::autograd::Ctx;
+use gnmr::prelude::*;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500))
+}
+
+fn bench_forward_backward(c: &mut Criterion) {
+    let data = gnmr::data::presets::movielens_small(7);
+    let model = Gnmr::new(&data.graph, GnmrConfig { pretrain: false, ..GnmrConfig::default() });
+    let sampler = BatchSampler::new(&data.graph);
+    let mut r = gnmr::tensor::rng::seeded(1);
+    let batch = sampler.sample(256, 4, &mut r);
+
+    c.bench_function("gnmr_full_forward", |b| {
+        b.iter(|| {
+            let mut ctx = Ctx::new(model.params());
+            std::hint::black_box(model.forward(&mut ctx));
+        });
+    });
+
+    c.bench_function("gnmr_forward_backward_step", |b| {
+        b.iter(|| {
+            let mut ctx = Ctx::new(model.params());
+            let (us, is_) = model.forward(&mut ctx);
+            let u_all = ctx.g.concat_cols(&us);
+            let i_all = ctx.g.concat_cols(&is_);
+            let u = ctx.g.gather_rows(u_all, std::sync::Arc::new(batch.users.clone()));
+            let p = ctx.g.gather_rows(i_all, std::sync::Arc::new(batch.pos_items.clone()));
+            let n = ctx.g.gather_rows(i_all, std::sync::Arc::new(batch.neg_items.clone()));
+            let ps = ctx.g.row_dot(u, p);
+            let nsv = ctx.g.row_dot(u, n);
+            let diff = ctx.g.sub(nsv, ps);
+            let margin = ctx.g.add_scalar(diff, 1.0);
+            let h = ctx.g.relu(margin);
+            let loss = ctx.g.mean(h);
+            std::hint::black_box(ctx.grads(loss));
+        });
+    });
+}
+
+fn bench_eval_throughput(c: &mut Criterion) {
+    let data = gnmr::data::presets::movielens_small(7);
+    let mut model = Gnmr::new(&data.graph, GnmrConfig { pretrain: false, ..GnmrConfig::default() });
+    model.refresh_representations();
+    c.bench_function("evaluate_900_users_100_candidates", |b| {
+        b.iter(|| std::hint::black_box(evaluate(&model, &data.test, &[10])));
+    });
+    c.bench_function("evaluate_parallel_4_threads", |b| {
+        b.iter(|| std::hint::black_box(evaluate_parallel(&model, &data.test, &[10], 4)));
+    });
+}
+
+fn bench_pretrain(c: &mut Criterion) {
+    let data = gnmr::data::presets::tiny_movielens(7);
+    c.bench_function("autoencoder_pretrain_tiny", |b| {
+        b.iter(|| std::hint::black_box(gnmr::core::pretrain_embeddings(&data.graph, 16, 1, 5)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_forward_backward, bench_eval_throughput, bench_pretrain
+}
+criterion_main!(benches);

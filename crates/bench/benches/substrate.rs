@@ -1,0 +1,82 @@
+//! Microbenchmarks of the tensor/graph substrate: dense matmul, sparse
+//! matmul, CSR construction, embedding gathers and softmax.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gnmr::prelude::*;
+use gnmr::tensor::{init, rng, stats, Csr, Matrix};
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(500))
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_matmul");
+    for n in [64usize, 256, 1024] {
+        let a = init::uniform(n, 16, -1.0, 1.0, &mut rng::seeded(1));
+        let b = init::uniform(16, 16, -1.0, 1.0, &mut rng::seeded(2));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{n}x16x16")), &n, |bch, _| {
+            bch.iter(|| std::hint::black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let data = gnmr::data::presets::movielens_small(7);
+    let adj = data.graph.target_user_item();
+    let dense = init::uniform(data.graph.n_items(), 16, -1.0, 1.0, &mut rng::seeded(3));
+    let mut group = c.benchmark_group("spmm");
+    group.bench_function(format!("csr_{}nnz", adj.nnz()), |b| {
+        b.iter(|| std::hint::black_box(adj.spmm(&dense)));
+    });
+    group.bench_function("csr_transposed", |b| {
+        let du = init::uniform(data.graph.n_users(), 16, -1.0, 1.0, &mut rng::seeded(4));
+        b.iter(|| std::hint::black_box(adj.spmm_t(&du)));
+    });
+    group.finish();
+}
+
+fn bench_csr_build(c: &mut Criterion) {
+    let mut r = rng::seeded(5);
+    use rand::Rng;
+    let triplets: Vec<(u32, u32, f32)> =
+        (0..50_000).map(|_| (r.gen_range(0..1000), r.gen_range(0..1000), 1.0)).collect();
+    c.bench_function("csr_from_triplets_50k", |b| {
+        b.iter(|| std::hint::black_box(Csr::from_triplets(1000, 1000, &triplets)));
+    });
+}
+
+fn bench_gather_and_softmax(c: &mut Criterion) {
+    let table = init::uniform(2000, 48, -1.0, 1.0, &mut rng::seeded(6));
+    let idx: Vec<u32> = (0..1024u32).map(|i| (i * 7) % 2000).collect();
+    c.bench_function("gather_rows_1024x48", |b| {
+        b.iter(|| std::hint::black_box(table.gather_rows(&idx)));
+    });
+    let logits = init::uniform(1024, 4, -2.0, 2.0, &mut rng::seeded(7));
+    c.bench_function("softmax_rows_1024x4", |b| {
+        b.iter(|| std::hint::black_box(stats::softmax_rows(&logits)));
+    });
+    let a = init::uniform(1024, 48, -1.0, 1.0, &mut rng::seeded(8));
+    let bm = init::uniform(1024, 48, -1.0, 1.0, &mut rng::seeded(9));
+    c.bench_function("row_dot_1024x48", |b| {
+        b.iter(|| std::hint::black_box(a.row_dot(&bm)));
+    });
+    let _ = Matrix::zeros(1, 1);
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let data = gnmr::data::presets::movielens_small(7);
+    let sampler = BatchSampler::new(&data.graph);
+    let mut r = rng::seeded(10);
+    c.bench_function("batch_sample_128x4", |b| {
+        b.iter(|| std::hint::black_box(sampler.sample(128, 4, &mut r)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_matmul, bench_spmm, bench_csr_build, bench_gather_and_softmax, bench_sampling
+}
+criterion_main!(benches);

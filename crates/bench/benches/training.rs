@@ -1,0 +1,47 @@
+//! End-to-end training cost: epochs of GNMR and representative baselines
+//! on the tiny preset (so the bench suite stays fast).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnmr::prelude::*;
+use std::time::Duration;
+
+fn config() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(Duration::from_secs(5)).warm_up_time(Duration::from_millis(500))
+}
+
+fn bench_training(c: &mut Criterion) {
+    let data = gnmr::data::presets::tiny_movielens(7);
+    let one_epoch = TrainConfig { epochs: 1, batch_users: 64, samples_per_user: 4, ..TrainConfig::default() };
+    c.bench_function("gnmr_one_epoch_tiny", |b| {
+        b.iter(|| {
+            let mut m = Gnmr::new(&data.graph, GnmrConfig { pretrain: false, ..GnmrConfig::default() });
+            std::hint::black_box(m.fit(&data.graph, &one_epoch));
+        });
+    });
+    let base_cfg = BaselineConfig { epochs: 1, batch_users: 64, ..BaselineConfig::default() };
+    c.bench_function("biasmf_one_epoch_tiny", |b| {
+        b.iter(|| std::hint::black_box(BiasMf::fit(&data.graph, &base_cfg)));
+    });
+    c.bench_function("ngcf_one_epoch_tiny", |b| {
+        b.iter(|| std::hint::black_box(Ngcf::fit(&data.graph, &base_cfg)));
+    });
+    c.bench_function("nmtr_one_epoch_tiny", |b| {
+        b.iter(|| std::hint::black_box(Nmtr::fit(&data.graph, &base_cfg)));
+    });
+}
+
+fn bench_dataset_generation(c: &mut Criterion) {
+    c.bench_function("generate_tiny_movielens", |b| {
+        b.iter(|| std::hint::black_box(gnmr::data::presets::tiny_movielens(7)));
+    });
+    c.bench_function("generate_tiny_taobao", |b| {
+        b.iter(|| std::hint::black_box(gnmr::data::presets::tiny_taobao(7)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_training, bench_dataset_generation
+}
+criterion_main!(benches);

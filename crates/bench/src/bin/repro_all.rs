@@ -1,0 +1,16 @@
+//! Runs the complete reproduction suite (Tables I-IV, Figures 2-3) and
+//! archives every artifact under `results/`.
+use gnmr_bench::{experiments, output, registry::Budget};
+fn main() {
+    let seed = 7;
+    let budget = Budget::from_env(seed);
+    let t0 = std::time::Instant::now();
+    output::emit("table1", &experiments::table1(seed));
+    let (t2, t3) = experiments::table2_and_table3(seed, &budget);
+    output::emit("table2", &t2);
+    output::emit("table3", &t3);
+    output::emit("fig2", &experiments::fig2(seed, &budget));
+    output::emit("table4", &experiments::table4(seed, &budget));
+    output::emit("fig3", &experiments::fig3(seed, &budget));
+    eprintln!("reproduction suite finished in {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 2 (component ablation).
+use gnmr_bench::{experiments, output, registry::Budget};
+fn main() {
+    let f2 = experiments::fig2(7, &Budget::from_env(7));
+    output::emit("fig2", &f2);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 3 (model depth study).
+use gnmr_bench::{experiments, output, registry::Budget};
+fn main() {
+    let f3 = experiments::fig3(7, &Budget::from_env(7));
+    output::emit("fig3", &f3);
+}

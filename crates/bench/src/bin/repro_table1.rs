@@ -1,0 +1,5 @@
+//! Regenerates Table I (dataset statistics).
+fn main() {
+    let artifact = gnmr_bench::experiments::table1(7);
+    gnmr_bench::output::emit("table1", &artifact);
+}

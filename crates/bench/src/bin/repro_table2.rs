@@ -1,0 +1,8 @@
+//! Regenerates Table II (main performance comparison). Also produces
+//! Table III as a byproduct (the Yelp models are shared).
+use gnmr_bench::{experiments, output, registry::Budget};
+fn main() {
+    let (t2, t3) = experiments::table2_and_table3(7, &Budget::from_env(7));
+    output::emit("table2", &t2);
+    output::emit("table3", &t3);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table III (top-N ranking sweep on Yelp).
+use gnmr_bench::{experiments, output, registry::Budget};
+fn main() {
+    let (_, t3) = experiments::table2_and_table3(7, &Budget::from_env(7));
+    output::emit("table3", &t3);
+}

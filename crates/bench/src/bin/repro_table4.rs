@@ -1,0 +1,6 @@
+//! Regenerates Table IV (behavior-type ablation).
+use gnmr_bench::{experiments, output, registry::Budget};
+fn main() {
+    let t4 = experiments::table4(7, &Budget::from_env(7));
+    output::emit("table4", &t4);
+}

@@ -1,0 +1,48 @@
+//! Result output: prints to stdout and archives under `results/`.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Locates the workspace `results/` directory (next to the top-level
+/// `Cargo.toml`), falling back to the current directory.
+pub fn results_dir() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("results").is_dir() || dir.join("Cargo.toml").is_file() {
+            let r = dir.join("results");
+            let _ = std::fs::create_dir_all(&r);
+            return r;
+        }
+        if !dir.pop() {
+            return PathBuf::from("results");
+        }
+    }
+}
+
+/// Prints `content` and writes it to `results/<name>.txt`.
+pub fn emit(name: &str, content: &str) {
+    println!("{content}");
+    let path = results_dir().join(format!("{name}.txt"));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            if let Err(e) = f.write_all(content.as_bytes()) {
+                eprintln!("warning: failed to write {}: {e}", path.display());
+            } else {
+                eprintln!("[saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot create {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+        assert!(d.exists());
+    }
+}

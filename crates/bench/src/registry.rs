@@ -1,0 +1,143 @@
+//! Model registry: name -> training dispatch for all Table II models.
+
+use gnmr::prelude::*;
+
+/// The thirteen models of Table II, in the paper's row order.
+pub const TABLE2_MODELS: [&str; 13] = [
+    "BiasMF", "DMF", "NCF-M", "NCF-G", "NCF-N", "AutoRec", "CDAE", "NADE", "CF-UIcA", "NGCF",
+    "NMTR", "DIPN", "GNMR",
+];
+
+/// The seven models of Table III (ranking sweep on Yelp).
+pub const TABLE3_MODELS: [&str; 7] =
+    ["BiasMF", "NCF-N", "AutoRec", "NADE", "CF-UIcA", "NMTR", "GNMR"];
+
+/// Training budgets for one harness run.
+#[derive(Copy, Clone, Debug)]
+pub struct Budget {
+    /// Config for the baselines.
+    pub baseline: BaselineConfig,
+    /// Config for GNMR training.
+    pub gnmr_train: TrainConfig,
+    /// Config for the GNMR model.
+    pub gnmr_model: GnmrConfig,
+}
+
+impl Budget {
+    /// The default harness budget (minutes for the full suite).
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            baseline: BaselineConfig {
+                epochs: 30,
+                batch_users: 256,
+                samples_per_user: 6,
+                lr: 0.015,
+                weight_decay: 1e-4,
+                seed,
+                ..BaselineConfig::default()
+            },
+            gnmr_train: TrainConfig {
+                epochs: 40,
+                batch_users: 256,
+                samples_per_user: 6,
+                lr: 0.015,
+                weight_decay: 1e-4,
+                seed,
+                ..TrainConfig::default()
+            },
+            gnmr_model: GnmrConfig { seed, ..GnmrConfig::default() },
+        }
+    }
+
+    /// A heavier budget (set `GNMR_FULL=1`).
+    pub fn full(seed: u64) -> Self {
+        let mut b = Self::quick(seed);
+        b.baseline.epochs = 60;
+        b.gnmr_train.epochs = 90;
+        b
+    }
+
+    /// Chooses the budget from the `GNMR_FULL` environment variable.
+    pub fn from_env(seed: u64) -> Self {
+        if std::env::var("GNMR_FULL").map(|v| v == "1").unwrap_or(false) {
+            Self::full(seed)
+        } else {
+            Self::quick(seed)
+        }
+    }
+}
+
+/// Trains the named model on `data` and returns it as a boxed scorer.
+///
+/// # Panics
+/// If the name is not one of [`TABLE2_MODELS`].
+pub fn train(name: &str, data: &Dataset, budget: &Budget) -> Box<dyn Recommender + Send + Sync> {
+    let graph = &data.graph;
+    let cfg = &budget.baseline;
+    match name {
+        "BiasMF" => Box::new(BiasMf::fit(graph, cfg)),
+        "DMF" => Box::new(Dmf::fit(graph, cfg)),
+        "NCF-G" => Box::new(Ncf::fit(graph, cfg, NcfVariant::Gmf)),
+        "NCF-M" => Box::new(Ncf::fit(graph, cfg, NcfVariant::Mlp)),
+        "NCF-N" => Box::new(Ncf::fit(graph, cfg, NcfVariant::NeuMf)),
+        "AutoRec" => Box::new(AutoRec::fit(graph, cfg)),
+        "CDAE" => Box::new(Cdae::fit(graph, cfg)),
+        "NADE" => Box::new(Nade::fit(graph, cfg)),
+        "CF-UIcA" => Box::new(CfUica::fit(graph, cfg)),
+        "NGCF" => Box::new(Ngcf::fit(graph, cfg)),
+        "NMTR" => Box::new(Nmtr::fit(graph, cfg)),
+        "DIPN" => Box::new(Dipn::fit(graph, &data.train_log, cfg)),
+        "GNMR" => Box::new(train_gnmr(data, budget.gnmr_model, &budget.gnmr_train)),
+        other => panic!("unknown model {other:?}"),
+    }
+}
+
+/// Trains a GNMR variant on `data`.
+pub fn train_gnmr(data: &Dataset, model_cfg: GnmrConfig, train_cfg: &TrainConfig) -> Gnmr {
+    let mut model = Gnmr::new(&data.graph, model_cfg);
+    model.fit(&data.graph, train_cfg);
+    model
+}
+
+/// The three harness datasets in the paper's column order.
+pub fn datasets(seed: u64) -> Vec<Dataset> {
+    vec![
+        gnmr::data::presets::movielens_small(seed),
+        gnmr::data::presets::yelp_small(seed),
+        gnmr::data::presets::taobao_small(seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_table2_model() {
+        let data = gnmr::data::presets::tiny_movielens(3);
+        let mut budget = Budget::quick(3);
+        budget.baseline.epochs = 1;
+        budget.gnmr_train.epochs = 1;
+        budget.gnmr_model.pretrain = false;
+        for name in TABLE2_MODELS {
+            let model = train(name, &data, &budget);
+            let scores = model.score(0, &[0, 1, 2]);
+            assert_eq!(scores.len(), 3, "{name} returned wrong score count");
+            assert!(scores.iter().all(|s| s.is_finite()), "{name} produced non-finite scores");
+        }
+    }
+
+    #[test]
+    fn table3_models_are_subset_of_table2() {
+        for m in TABLE3_MODELS {
+            assert!(TABLE2_MODELS.contains(&m), "{m} missing from table2 registry");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model")]
+    fn unknown_model_panics() {
+        let data = gnmr::data::presets::tiny_movielens(3);
+        let _ = train("SVD++", &data, &Budget::quick(3));
+    }
+}

@@ -1,0 +1,348 @@
+//! The GNMR model: multi-layer propagation and multi-order matching.
+
+use std::sync::Arc;
+
+use gnmr_autograd::{Ctx, ParamStore, Var};
+use gnmr_eval::Recommender;
+use gnmr_graph::MultiBehaviorGraph;
+use gnmr_tensor::{init, rng, Csr, Matrix};
+
+use crate::config::GnmrConfig;
+use crate::{attention, fusion, pretrain, type_embedding};
+
+/// Graph Neural Multi-Behavior Enhanced Recommendation.
+///
+/// Construction registers all parameters (optionally pre-training the
+/// order-0 embeddings); [`Gnmr::fit`](crate::trainer) trains with the
+/// paper's pairwise hinge objective; afterwards the model caches
+/// per-order representations and scores pairs by multi-order matching
+/// `Pr_{i,j} = sum_l <H_i^(l), H_j^(l)>`.
+pub struct Gnmr {
+    pub(crate) cfg: GnmrConfig,
+    pub(crate) store: ParamStore,
+    adj_user_item: Vec<Arc<Csr>>,
+    adj_item_user: Vec<Arc<Csr>>,
+    n_users: usize,
+    n_items: usize,
+    user_repr: Option<Matrix>,
+    item_repr: Option<Matrix>,
+}
+
+impl Gnmr {
+    /// Initializes the model over a training graph.
+    pub fn new(graph: &MultiBehaviorGraph, cfg: GnmrConfig) -> Self {
+        cfg.validate();
+        let mut store = ParamStore::new();
+        let mut param_rng = rng::substream(cfg.seed, 0x6E6D72);
+
+        let (user_emb, item_emb) = if cfg.pretrain {
+            pretrain::pretrain_embeddings(graph, cfg.dim, cfg.pretrain_epochs, cfg.seed)
+        } else {
+            (
+                init::normal(graph.n_users(), cfg.dim, 0.0, 0.1, &mut param_rng),
+                init::normal(graph.n_items(), cfg.dim, 0.0, 0.1, &mut param_rng),
+            )
+        };
+        store.insert("emb.user", user_emb);
+        store.insert("emb.item", item_emb);
+
+        for l in 0..cfg.layers {
+            if cfg.variant.type_embedding {
+                type_embedding::register(&mut store, &mut param_rng, &format!("l{l}.eta"), &cfg);
+            }
+            if cfg.variant.cross_attention {
+                attention::register(&mut store, &mut param_rng, &format!("l{l}.att"), &cfg);
+            }
+            if cfg.variant.gated_fusion {
+                fusion::register(&mut store, &mut param_rng, &format!("l{l}.psi"), &cfg);
+            }
+        }
+
+        let adj_user_item = (0..graph.n_behaviors())
+            .map(|k| Arc::new(cfg.norm.apply(graph.user_item(k))))
+            .collect();
+        let adj_item_user = (0..graph.n_behaviors())
+            .map(|k| Arc::new(cfg.norm.apply(graph.item_user(k))))
+            .collect();
+
+        Self {
+            cfg,
+            store,
+            adj_user_item,
+            adj_item_user,
+            n_users: graph.n_users(),
+            n_items: graph.n_items(),
+            user_repr: None,
+            item_repr: None,
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &GnmrConfig {
+        &self.cfg
+    }
+
+    /// Read access to the parameters.
+    pub fn params(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Number of behavior types the model was built for.
+    pub fn n_behaviors(&self) -> usize {
+        self.adj_user_item.len()
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// One propagation layer: eta per behavior, cross-behavior attention,
+    /// gated fusion — on both graph directions.
+    fn layer(&self, ctx: &mut Ctx<'_>, l: usize, users: Var, items: Var) -> (Var, Var) {
+        let k_types = self.n_behaviors();
+        let mut user_behaviors = Vec::with_capacity(k_types);
+        let mut item_behaviors = Vec::with_capacity(k_types);
+        let eta_prefix = format!("l{l}.eta");
+        for k in 0..k_types {
+            let msg_u = ctx.g.spmm(Arc::clone(&self.adj_user_item[k]), items);
+            let msg_v = ctx.g.spmm(Arc::clone(&self.adj_item_user[k]), users);
+            if self.cfg.variant.type_embedding {
+                user_behaviors.push(type_embedding::apply(ctx, &eta_prefix, msg_u, &self.cfg));
+                item_behaviors.push(type_embedding::apply(ctx, &eta_prefix, msg_v, &self.cfg));
+            } else {
+                user_behaviors.push(msg_u);
+                item_behaviors.push(msg_v);
+            }
+        }
+
+        if self.cfg.variant.cross_attention {
+            let att_prefix = format!("l{l}.att");
+            user_behaviors = attention::apply(ctx, &att_prefix, &user_behaviors, &self.cfg);
+            item_behaviors = attention::apply(ctx, &att_prefix, &item_behaviors, &self.cfg);
+        }
+
+        if self.cfg.variant.gated_fusion {
+            let psi_prefix = format!("l{l}.psi");
+            (
+                fusion::apply(ctx, &psi_prefix, &user_behaviors, &self.cfg),
+                fusion::apply(ctx, &psi_prefix, &item_behaviors, &self.cfg),
+            )
+        } else {
+            (fusion::uniform(ctx, &user_behaviors), fusion::uniform(ctx, &item_behaviors))
+        }
+    }
+
+    /// Full-graph forward pass on a caller-provided tape; returns the
+    /// per-order user and item embeddings `H^(0) ... H^(L)`. Exposed for
+    /// research extensions and the benchmark harness; most users want
+    /// [`Gnmr::fit`] / [`Gnmr::recommend`].
+    pub fn forward(&self, ctx: &mut Ctx<'_>) -> (Vec<Var>, Vec<Var>) {
+        let mut users = ctx.param("emb.user");
+        let mut items = ctx.param("emb.item");
+        let mut user_orders = Vec::with_capacity(self.cfg.layers + 1);
+        let mut item_orders = Vec::with_capacity(self.cfg.layers + 1);
+        user_orders.push(users);
+        item_orders.push(items);
+        for l in 0..self.cfg.layers {
+            let (u_next, v_next) = self.layer(ctx, l, users, items);
+            user_orders.push(u_next);
+            item_orders.push(v_next);
+            users = u_next;
+            items = v_next;
+        }
+        (user_orders, item_orders)
+    }
+
+    /// Recomputes and caches the multi-order representations (the
+    /// concatenation over orders, so a single row dot realizes the
+    /// multi-order matching sum). Called by `fit`; call manually after
+    /// mutating parameters.
+    pub fn refresh_representations(&mut self) {
+        let mut ctx = Ctx::new(&self.store);
+        let (user_orders, item_orders) = self.forward(&mut ctx);
+        let user_mats: Vec<&Matrix> = user_orders.iter().map(|&v| ctx.g.value(v)).collect();
+        let item_mats: Vec<&Matrix> = item_orders.iter().map(|&v| ctx.g.value(v)).collect();
+        let user_repr = Matrix::concat_cols(&user_mats);
+        let item_repr = Matrix::concat_cols(&item_mats);
+        self.user_repr = Some(user_repr);
+        self.item_repr = Some(item_repr);
+    }
+
+    /// Whether representations are available for scoring.
+    pub fn is_ready(&self) -> bool {
+        self.user_repr.is_some()
+    }
+
+    fn reprs(&self) -> (&Matrix, &Matrix) {
+        (
+            self.user_repr.as_ref().expect("Gnmr: call fit() or refresh_representations() before scoring"),
+            self.item_repr.as_ref().expect("Gnmr: call fit() or refresh_representations() before scoring"),
+        )
+    }
+
+    /// Multi-order matching score of a single pair.
+    pub fn score_pair(&self, user: u32, item: u32) -> f32 {
+        let (u, v) = self.reprs();
+        u.row(user as usize)
+            .iter()
+            .zip(v.row(item as usize))
+            .map(|(a, b)| a * b)
+            .sum()
+    }
+
+    /// Top-`k` recommendations for a user, excluding `exclude` (typically
+    /// the user's training interactions). Returns `(item, score)` sorted
+    /// by descending score.
+    pub fn recommend(&self, user: u32, k: usize, exclude: &[u32]) -> Vec<(u32, f32)> {
+        let (urepr, vrepr) = self.reprs();
+        let urow = urepr.row(user as usize);
+        let mut scored: Vec<(u32, f32)> = (0..self.n_items as u32)
+            .filter(|i| !exclude.contains(i))
+            .map(|i| {
+                let s: f32 = urow.iter().zip(vrepr.row(i as usize)).map(|(a, b)| a * b).sum();
+                (i, s)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k);
+        scored
+    }
+}
+
+impl Recommender for Gnmr {
+    fn score(&self, user: u32, items: &[u32]) -> Vec<f32> {
+        items.iter().map(|&i| self.score_pair(user, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GnmrVariant;
+    use gnmr_data::presets;
+
+    fn small_model(variant: GnmrVariant, layers: usize) -> (Gnmr, gnmr_data::Dataset) {
+        let d = presets::tiny_movielens(3);
+        let cfg = GnmrConfig {
+            dim: 8,
+            memory_dims: 4,
+            heads: 2,
+            layers,
+            fusion_hidden: 8,
+            variant,
+            pretrain: false,
+            seed: 5,
+            ..GnmrConfig::default()
+        };
+        let model = Gnmr::new(&d.graph, cfg);
+        (model, d)
+    }
+
+    #[test]
+    fn parameter_registration_by_variant() {
+        let (full, _) = small_model(GnmrVariant::full(), 2);
+        // emb(2) + per layer: eta (2 + C) + att (3*S) + psi (4)
+        let expected = 2 + 2 * ((2 + 4) + (3 * 2) + 4);
+        assert_eq!(full.params().len(), expected);
+
+        let (be, _) = small_model(GnmrVariant::without_type_embedding(), 2);
+        assert_eq!(be.params().len(), 2 + 2 * ((3 * 2) + 4));
+        assert!(!be.params().contains("l0.eta.w1"));
+
+        let (ma, _) = small_model(GnmrVariant::without_message_aggregation(), 2);
+        assert_eq!(ma.params().len(), 2 + 2 * (2 + 4));
+        assert!(!ma.params().contains("l0.att.q.0"));
+        assert!(!ma.params().contains("l0.psi.w3"));
+    }
+
+    #[test]
+    fn forward_produces_all_orders() {
+        let (model, d) = small_model(GnmrVariant::full(), 3);
+        let mut ctx = Ctx::new(&model.store);
+        let (us, vs) = model.forward(&mut ctx);
+        assert_eq!(us.len(), 4);
+        assert_eq!(vs.len(), 4);
+        for &u in &us {
+            assert_eq!(ctx.g.shape(u), (d.graph.n_users(), 8));
+            assert!(ctx.g.value(u).is_finite());
+        }
+        for &v in &vs {
+            assert_eq!(ctx.g.shape(v), (d.graph.n_items(), 8));
+        }
+    }
+
+    #[test]
+    fn zero_layers_is_pure_embedding_model() {
+        let (mut model, _) = small_model(GnmrVariant::full(), 0);
+        model.refresh_representations();
+        let (u, v) = model.reprs();
+        assert_eq!(u.cols(), 8);
+        assert_eq!(v.cols(), 8);
+        // Score equals the raw embedding dot product.
+        let expected: f32 = model
+            .params()
+            .get("emb.user")
+            .row(0)
+            .iter()
+            .zip(model.params().get("emb.item").row(0))
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((model.score_pair(0, 0) - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn representations_concatenate_orders() {
+        let (mut model, d) = small_model(GnmrVariant::full(), 2);
+        model.refresh_representations();
+        let (u, v) = model.reprs();
+        assert_eq!(u.shape(), (d.graph.n_users(), 8 * 3));
+        assert_eq!(v.shape(), (d.graph.n_items(), 8 * 3));
+        assert!(model.is_ready());
+    }
+
+    #[test]
+    fn scoring_matches_recommender_trait() {
+        let (mut model, _) = small_model(GnmrVariant::full(), 1);
+        model.refresh_representations();
+        let direct = model.score_pair(2, 7);
+        let via_trait = model.score(2, &[7, 9]);
+        assert!((direct - via_trait[0]).abs() < 1e-6);
+        assert_eq!(via_trait.len(), 2);
+    }
+
+    #[test]
+    fn recommend_excludes_and_sorts() {
+        let (mut model, _) = small_model(GnmrVariant::full(), 1);
+        model.refresh_representations();
+        let recs = model.recommend(0, 10, &[1, 2, 3]);
+        assert_eq!(recs.len(), 10);
+        for (item, _) in &recs {
+            assert!(![1u32, 2, 3].contains(item));
+        }
+        for w in recs.windows(2) {
+            assert!(w[0].1 >= w[1].1, "not sorted");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "call fit()")]
+    fn scoring_before_fit_panics() {
+        let (model, _) = small_model(GnmrVariant::full(), 1);
+        let _ = model.score_pair(0, 0);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let (a, _) = small_model(GnmrVariant::full(), 2);
+        let (b, _) = small_model(GnmrVariant::full(), 2);
+        for (name, m) in a.params().iter() {
+            assert!(m.approx_eq(b.params().get(name), 0.0), "param {name} differs");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Training loop (paper Algorithm 1 and Eq. 7).
+//!
+//! Each step performs a full-graph forward pass, samples seed users with
+//! `S` positive and `S` negative items each, scores the pairs by
+//! multi-order matching, and minimizes the pairwise hinge loss
+//! `max(0, 1 - Pr_{i,pos} + Pr_{i,neg})` plus Frobenius regularization
+//! (as Adam weight decay) with per-epoch learning-rate decay 0.96.
+
+use std::sync::Arc;
+
+use gnmr_autograd::{Adam, Ctx};
+use gnmr_graph::{BatchSampler, MultiBehaviorGraph};
+use gnmr_tensor::rng;
+
+use crate::config::TrainConfig;
+use crate::model::Gnmr;
+
+/// Summary of one training run.
+#[derive(Clone, Debug, Default)]
+pub struct TrainReport {
+    /// Mean hinge loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Total optimization steps taken.
+    pub steps: usize,
+}
+
+impl TrainReport {
+    /// The final epoch's mean loss.
+    pub fn final_loss(&self) -> f32 {
+        self.epoch_losses.last().copied().unwrap_or(f32::NAN)
+    }
+}
+
+impl Gnmr {
+    /// Trains the model on `graph` (which must be the graph the model was
+    /// constructed over) and caches representations for scoring.
+    ///
+    /// # Panics
+    /// If the graph dimensions do not match the model.
+    pub fn fit(&mut self, graph: &MultiBehaviorGraph, tcfg: &TrainConfig) -> TrainReport {
+        assert_eq!(graph.n_behaviors(), self.n_behaviors(), "fit: behavior count mismatch");
+        self.fit_with_labels(graph, tcfg)
+    }
+
+    /// Like [`Gnmr::fit`], but allows the *label* graph (where positives
+    /// and negatives are sampled) to differ in behavior set from the
+    /// propagation graph the model was built on. Used by the Table IV
+    /// "w/o like" ablation, where the target channel is removed from
+    /// message passing but training labels still come from it.
+    pub fn fit_with_labels(&mut self, labels: &MultiBehaviorGraph, tcfg: &TrainConfig) -> TrainReport {
+        let graph = labels;
+        assert_eq!(graph.n_users(), self.n_users(), "fit: user count mismatch");
+        assert_eq!(graph.n_items(), self.n_items(), "fit: item count mismatch");
+
+        let sampler = BatchSampler::new(graph);
+        let mut opt = Adam::new(tcfg.lr).with_weight_decay(tcfg.weight_decay);
+        let mut sample_rng = rng::substream(tcfg.seed, 0x7212);
+        let steps_per_epoch = sampler
+            .eligible_users()
+            .len()
+            .div_ceil(tcfg.batch_users.max(1))
+            .max(1);
+
+        let mut report = TrainReport::default();
+        for _epoch in 0..tcfg.epochs {
+            let mut epoch_loss = 0.0;
+            let mut counted = 0usize;
+            for _ in 0..steps_per_epoch {
+                let batch = sampler.sample(tcfg.batch_users, tcfg.samples_per_user, &mut sample_rng);
+                if batch.is_empty() {
+                    continue;
+                }
+                let mut ctx = Ctx::new(&self.store);
+                let (user_orders, item_orders) = self.forward(&mut ctx);
+                let user_all = ctx.g.concat_cols(&user_orders);
+                let item_all = ctx.g.concat_cols(&item_orders);
+
+                let u = ctx.g.gather_rows(user_all, Arc::new(batch.users));
+                let p = ctx.g.gather_rows(item_all, Arc::new(batch.pos_items));
+                let n = ctx.g.gather_rows(item_all, Arc::new(batch.neg_items));
+                let pos_scores = ctx.g.row_dot(u, p);
+                let neg_scores = ctx.g.row_dot(u, n);
+                let diff = ctx.g.sub(neg_scores, pos_scores);
+                let margin = ctx.g.add_scalar(diff, 1.0);
+                let hinge = ctx.g.relu(margin);
+                let loss = ctx.g.mean(hinge);
+
+                epoch_loss += ctx.g.value(loss).scalar_value();
+                counted += 1;
+                let mut grads = ctx.grads(loss);
+                if tcfg.grad_clip > 0.0 {
+                    grads.clip_global_norm(tcfg.grad_clip);
+                }
+                opt.step(&mut self.store, &grads);
+                report.steps += 1;
+            }
+            opt.decay_lr();
+            report.epoch_losses.push(if counted > 0 { epoch_loss / counted as f32 } else { f32::NAN });
+        }
+
+        debug_assert!(self.store.all_finite(), "parameters diverged");
+        self.refresh_representations();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GnmrConfig, GnmrVariant};
+    use gnmr_data::presets;
+    use gnmr_eval::{evaluate, PopularityRecommender, RandomRecommender};
+
+    fn quick_cfg(variant: GnmrVariant) -> GnmrConfig {
+        GnmrConfig {
+            dim: 8,
+            memory_dims: 4,
+            heads: 2,
+            layers: 2,
+            fusion_hidden: 8,
+            variant,
+            pretrain: false,
+            seed: 5,
+            ..GnmrConfig::default()
+        }
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let d = presets::tiny_movielens(3);
+        let mut model = Gnmr::new(&d.graph, quick_cfg(GnmrVariant::full()));
+        let report = model.fit(&d.graph, &TrainConfig { epochs: 10, ..TrainConfig::fast_test() });
+        assert_eq!(report.epoch_losses.len(), 10);
+        let first = report.epoch_losses[0];
+        let last = report.final_loss();
+        assert!(last < first * 0.9, "loss did not drop: {first} -> {last}");
+        assert!(model.is_ready());
+    }
+
+    #[test]
+    fn trained_model_beats_random_and_popularity() {
+        let d = presets::tiny_movielens(3);
+        let mut model = Gnmr::new(&d.graph, quick_cfg(GnmrVariant::full()));
+        model.fit(&d.graph, &TrainConfig { epochs: 40, ..TrainConfig::fast_test() });
+        let ns = [10];
+        let gnmr = evaluate(&model, &d.test, &ns);
+        let random = evaluate(&RandomRecommender::new(1), &d.test, &ns);
+        let pop = evaluate(&PopularityRecommender::fit(&d.graph), &d.test, &ns);
+        assert!(
+            gnmr.hr_at(10) > random.hr_at(10) + 0.1,
+            "GNMR {:.3} vs random {:.3}",
+            gnmr.hr_at(10),
+            random.hr_at(10)
+        );
+        // Popularity is an unusually strong floor at tiny scale (Zipf
+        // exposure + uniform negatives); require GNMR to be at least
+        // competitive with it. The harness-scale comparison lives in the
+        // repro_table2 experiment.
+        assert!(
+            gnmr.hr_at(10) > pop.hr_at(10) - 0.05,
+            "GNMR {:.3} far below popularity {:.3}",
+            gnmr.hr_at(10),
+            pop.hr_at(10)
+        );
+    }
+
+    #[test]
+    fn ablated_variants_still_train() {
+        let d = presets::tiny_movielens(3);
+        for variant in [
+            GnmrVariant::without_type_embedding(),
+            GnmrVariant::without_message_aggregation(),
+        ] {
+            let mut model = Gnmr::new(&d.graph, quick_cfg(variant));
+            let report = model.fit(&d.graph, &TrainConfig::fast_test());
+            assert!(report.final_loss().is_finite(), "{} diverged", variant.label());
+            assert!(model.is_ready());
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let d = presets::tiny_movielens(3);
+        let run = || {
+            let mut m = Gnmr::new(&d.graph, quick_cfg(GnmrVariant::full()));
+            m.fit(&d.graph, &TrainConfig { epochs: 3, ..TrainConfig::fast_test() });
+            m.score_pair(0, 0)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "count mismatch")]
+    fn fit_on_wrong_graph_panics() {
+        let d1 = presets::tiny_movielens(3);
+        let d2 = presets::tiny_taobao(3);
+        let mut model = Gnmr::new(&d1.graph, quick_cfg(GnmrVariant::full()));
+        model.fit(&d2.graph, &TrainConfig::fast_test());
+    }
+}

@@ -1,0 +1,209 @@
+//! Leave-one-out train/test split with 99-negative candidate sets.
+//!
+//! Follows the protocol of the paper (inherited from NCF/NMTR): for every
+//! user with at least two target-behavior interactions, the latest one is
+//! held out as the test positive; at evaluation time it is ranked against
+//! 99 sampled items the user never interacted with under the target
+//! behavior.
+//!
+//! Auxiliary-behavior edges of the held-out pair are *kept* in the
+//! training graph: in the real datasets the page views / carts preceding
+//! a held-out purchase remain observable, and that information channel is
+//! precisely what multi-behavior models exploit.
+
+use std::collections::HashSet;
+
+use gnmr_graph::InteractionLog;
+use gnmr_tensor::rng;
+use rand::Rng;
+
+/// One evaluation case: rank `pos_item` against `negatives`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvalInstance {
+    /// The evaluated user.
+    pub user: u32,
+    /// The held-out target-behavior item.
+    pub pos_item: u32,
+    /// Items never interacted with under the target behavior.
+    pub negatives: Vec<u32>,
+}
+
+impl EvalInstance {
+    /// The full candidate list: positive first, then negatives.
+    pub fn candidates(&self) -> Vec<u32> {
+        let mut c = Vec::with_capacity(1 + self.negatives.len());
+        c.push(self.pos_item);
+        c.extend_from_slice(&self.negatives);
+        c
+    }
+}
+
+/// The result of [`leave_one_out`].
+#[derive(Clone, Debug)]
+pub struct Split {
+    /// Training log (held-out target edges removed).
+    pub train: InteractionLog,
+    /// Evaluation instances, one per eligible user.
+    pub test: Vec<EvalInstance>,
+}
+
+/// Splits `log` leave-one-out on its `target` behavior and samples
+/// `n_negatives` evaluation negatives per instance.
+///
+/// # Panics
+/// If `target` is not a behavior of the log, or the catalogue is too small
+/// to supply `n_negatives` distinct negatives for some user.
+pub fn leave_one_out(log: &InteractionLog, target: &str, n_negatives: usize, seed: u64) -> Split {
+    let target_id = log
+        .behavior_id(target)
+        .unwrap_or_else(|| panic!("leave_one_out: unknown target behavior {target:?}"));
+    let n_items = log.n_items();
+
+    let mut train = log.clone();
+    let mut test = Vec::new();
+    for user in 0..log.n_users() {
+        let target_events: Vec<_> =
+            log.user_events(user).iter().filter(|e| e.behavior == target_id).copied().collect();
+        if target_events.len() < 2 {
+            continue; // keep the user's only positive in training
+        }
+        let held_out = *target_events
+            .iter()
+            .max_by_key(|e| (e.ts, e.item))
+            .expect("non-empty by construction");
+        let removed = train.remove(user, held_out.item, target_id);
+        debug_assert!(removed, "held-out edge missing from train copy");
+
+        let interacted: HashSet<u32> = target_events.iter().map(|e| e.item).collect();
+        assert!(
+            (n_items as usize) > interacted.len() + n_negatives,
+            "catalogue too small: user {user} needs {n_negatives} negatives"
+        );
+        let mut user_rng = rng::substream(seed, 0xE0A1 ^ u64::from(user));
+        let mut negatives = Vec::with_capacity(n_negatives);
+        let mut seen: HashSet<u32> = HashSet::with_capacity(n_negatives);
+        while negatives.len() < n_negatives {
+            let item = user_rng.gen_range(0..n_items);
+            if interacted.contains(&item) || seen.contains(&item) {
+                continue;
+            }
+            seen.insert(item);
+            negatives.push(item);
+        }
+        test.push(EvalInstance { user, pos_item: held_out.item, negatives });
+    }
+    Split { train, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnmr_graph::Interaction;
+
+    fn demo_log() -> InteractionLog {
+        let ev = |user, item, behavior, ts| Interaction { user, item, behavior, ts };
+        InteractionLog::new(
+            3,
+            50,
+            vec!["view".into(), "like".into()],
+            vec![
+                // User 0: three likes; latest is item 12.
+                ev(0, 10, 1, 5),
+                ev(0, 11, 1, 8),
+                ev(0, 12, 1, 20),
+                ev(0, 13, 0, 25),
+                // User 1: one like only -> not eligible.
+                ev(1, 20, 1, 3),
+                ev(1, 21, 0, 4),
+                // User 2: two likes; latest is item 31.
+                ev(2, 30, 1, 1),
+                ev(2, 31, 1, 2),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn holds_out_latest_target_interaction() {
+        let split = leave_one_out(&demo_log(), "like", 10, 42);
+        assert_eq!(split.test.len(), 2);
+        let user0 = split.test.iter().find(|t| t.user == 0).unwrap();
+        assert_eq!(user0.pos_item, 12);
+        let user2 = split.test.iter().find(|t| t.user == 2).unwrap();
+        assert_eq!(user2.pos_item, 31);
+    }
+
+    #[test]
+    fn train_and_test_are_disjoint_on_target() {
+        let log = demo_log();
+        let split = leave_one_out(&log, "like", 10, 42);
+        let like = log.behavior_id("like").unwrap();
+        for inst in &split.test {
+            let still_there = split
+                .train
+                .user_events(inst.user)
+                .iter()
+                .any(|e| e.behavior == like && e.item == inst.pos_item);
+            assert!(!still_there, "held-out edge leaked into train");
+        }
+        // Non-target edges survive.
+        assert_eq!(split.train.count_behavior(0), 2);
+        // Target count dropped by exactly the number of test instances.
+        assert_eq!(split.train.count_behavior(like), 6 - 2);
+    }
+
+    #[test]
+    fn negatives_valid_and_distinct() {
+        let log = demo_log();
+        let split = leave_one_out(&log, "like", 20, 42);
+        let like = log.behavior_id("like").unwrap();
+        for inst in &split.test {
+            assert_eq!(inst.negatives.len(), 20);
+            let mut sorted = inst.negatives.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 20, "duplicate negatives");
+            for &n in &inst.negatives {
+                assert_ne!(n, inst.pos_item);
+                let interacted = log
+                    .user_events(inst.user)
+                    .iter()
+                    .any(|e| e.behavior == like && e.item == n);
+                assert!(!interacted, "negative {n} was interacted");
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_start_with_positive() {
+        let split = leave_one_out(&demo_log(), "like", 5, 1);
+        let inst = &split.test[0];
+        let c = inst.candidates();
+        assert_eq!(c[0], inst.pos_item);
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let log = demo_log();
+        let a = leave_one_out(&log, "like", 10, 7);
+        let b = leave_one_out(&log, "like", 10, 7);
+        assert_eq!(a.test, b.test);
+        let c = leave_one_out(&log, "like", 10, 8);
+        assert_ne!(a.test, c.test);
+    }
+
+    #[test]
+    fn single_interaction_users_keep_their_edge() {
+        let log = demo_log();
+        let split = leave_one_out(&log, "like", 10, 42);
+        let like = log.behavior_id("like").unwrap();
+        let user1_likes: Vec<_> = split
+            .train
+            .user_events(1)
+            .iter()
+            .filter(|e| e.behavior == like)
+            .collect();
+        assert_eq!(user1_likes.len(), 1);
+    }
+}

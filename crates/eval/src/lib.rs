@@ -1,0 +1,16 @@
+//! Ranking metrics and the paper's evaluation protocol.
+//!
+//! Every model is evaluated identically (paper Section IV-A2): for each
+//! test user, the held-out target item is ranked against 99 sampled
+//! negatives; Hit Ratio (HR@N) and Normalized Discounted Cumulative Gain
+//! (NDCG@N) are averaged over users.
+
+pub mod metrics;
+pub mod protocol;
+pub mod reference;
+pub mod table;
+
+pub use metrics::{hr_at, ndcg_at, rank_of_positive};
+pub use protocol::{evaluate, evaluate_parallel, EvalReport, Recommender};
+pub use reference::{PopularityRecommender, RandomRecommender};
+pub use table::Table;

@@ -1,0 +1,113 @@
+//! Reference scorers: sanity floors every learned model must beat.
+
+use gnmr_graph::MultiBehaviorGraph;
+use gnmr_tensor::rng;
+use rand::Rng;
+
+use crate::protocol::Recommender;
+
+/// Ranks items by their global target-behavior interaction count.
+pub struct PopularityRecommender {
+    counts: Vec<f32>,
+}
+
+impl PopularityRecommender {
+    /// Counts target-behavior interactions per item in the training graph.
+    pub fn fit(graph: &MultiBehaviorGraph) -> Self {
+        let mut counts = vec![0.0f32; graph.n_items()];
+        for (_, item, _) in graph.target_user_item().iter() {
+            counts[item as usize] += 1.0;
+        }
+        Self { counts }
+    }
+}
+
+impl Recommender for PopularityRecommender {
+    fn score(&self, _user: u32, items: &[u32]) -> Vec<f32> {
+        items.iter().map(|&i| self.counts[i as usize]).collect()
+    }
+}
+
+/// Scores items with seeded pseudo-random noise (expected HR@10 over 100
+/// candidates is 0.10).
+pub struct RandomRecommender {
+    seed: u64,
+}
+
+impl RandomRecommender {
+    /// Creates a random scorer; every `(user, item)` pair gets a stable
+    /// pseudo-random score derived from the seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl Recommender for RandomRecommender {
+    fn score(&self, user: u32, items: &[u32]) -> Vec<f32> {
+        items
+            .iter()
+            .map(|&i| {
+                let mut r = rng::substream(self.seed, (u64::from(user) << 32) | u64::from(i));
+                r.gen_range(0.0..1.0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::evaluate;
+    use gnmr_data::EvalInstance;
+    use gnmr_graph::{Interaction, InteractionLog};
+
+    fn graph() -> MultiBehaviorGraph {
+        let ev = |user, item, ts| Interaction { user, item, behavior: 0, ts };
+        // Item 0 is by far the most popular.
+        let mut events = vec![];
+        for u in 0..10u32 {
+            events.push(ev(u, 0, u));
+            events.push(ev(u, u + 1, u));
+        }
+        let log = InteractionLog::new(10, 20, vec!["like".into()], events).unwrap();
+        MultiBehaviorGraph::from_log(&log, "like")
+    }
+
+    #[test]
+    fn popularity_prefers_frequent_items() {
+        let p = PopularityRecommender::fit(&graph());
+        let scores = p.score(3, &[0, 15, 5]);
+        assert!(scores[0] > scores[1]);
+        assert!(scores[0] > scores[2]);
+    }
+
+    #[test]
+    fn popularity_beats_random_when_popularity_is_signal() {
+        // Positives are always item 0 (the popular one).
+        let test: Vec<EvalInstance> = (0..10u32)
+            .map(|u| EvalInstance { user: u, pos_item: 0, negatives: (10..19).collect() })
+            .collect();
+        let g = graph();
+        let pop = evaluate(&PopularityRecommender::fit(&g), &test, &[1]);
+        let rnd = evaluate(&RandomRecommender::new(5), &test, &[1]);
+        assert_eq!(pop.hr_at(1), 1.0);
+        assert!(rnd.hr_at(1) < 0.6);
+    }
+
+    #[test]
+    fn random_scores_are_stable_per_pair() {
+        let r = RandomRecommender::new(9);
+        assert_eq!(r.score(1, &[2, 3]), r.score(1, &[2, 3]));
+        assert_ne!(r.score(1, &[2]), r.score(2, &[2]));
+    }
+
+    #[test]
+    fn random_hr_close_to_uniform_baseline() {
+        // 1 positive + 49 negatives => expected HR@5 = 0.1.
+        let test: Vec<EvalInstance> = (0..400u32)
+            .map(|u| EvalInstance { user: u, pos_item: 500, negatives: (0..49).collect() })
+            .collect();
+        let r = evaluate(&RandomRecommender::new(3), &test, &[5]);
+        assert!((r.hr_at(5) - 0.1).abs() < 0.05, "HR@5 {}", r.hr_at(5));
+    }
+}

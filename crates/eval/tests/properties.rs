@@ -1,0 +1,45 @@
+//! Property-based tests of the ranking metrics.
+
+use gnmr_eval::{hr_at, ndcg_at, rank_of_positive};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn rank_is_within_candidate_count(scores in proptest::collection::vec(-10.0f32..10.0, 1..50)) {
+        let r = rank_of_positive(&scores);
+        prop_assert!(r < scores.len());
+    }
+
+    #[test]
+    fn boosting_the_positive_never_hurts(
+        mut scores in proptest::collection::vec(-10.0f32..10.0, 2..50),
+        boost in 0.0f32..5.0,
+    ) {
+        let before = rank_of_positive(&scores);
+        scores[0] += boost;
+        let after = rank_of_positive(&scores);
+        prop_assert!(after <= before);
+    }
+
+    #[test]
+    fn metrics_bounded_and_consistent(rank in 0usize..30, n in 1usize..15) {
+        let h = hr_at(rank, n);
+        let g = ndcg_at(rank, n);
+        prop_assert!((0.0..=1.0).contains(&h));
+        prop_assert!((0.0..=1.0).contains(&g));
+        prop_assert!(g <= h + 1e-12);
+        // Monotone in n.
+        prop_assert!(hr_at(rank, n) <= hr_at(rank, n + 1));
+        prop_assert!(ndcg_at(rank, n) <= ndcg_at(rank, n + 1));
+    }
+
+    #[test]
+    fn rank_agrees_with_sorting(scores in proptest::collection::vec(-10.0f32..10.0, 1..40)) {
+        // rank == number of candidates strictly better, plus ties (which
+        // count against the positive).
+        let pos = scores[0];
+        let better = scores[1..].iter().filter(|&&s| s > pos).count();
+        let ties = scores[1..].iter().filter(|&&s| s == pos).count();
+        prop_assert_eq!(rank_of_positive(&scores), better + ties);
+    }
+}

@@ -1,0 +1,248 @@
+//! Raw interaction events and validated interaction logs.
+
+/// A single user-item interaction event of one behavior type.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Interaction {
+    /// Dense user index, `0..n_users`.
+    pub user: u32,
+    /// Dense item index, `0..n_items`.
+    pub item: u32,
+    /// Behavior-type index, `0..n_behaviors`.
+    pub behavior: u8,
+    /// Event timestamp (arbitrary monotone units; used by sequence models
+    /// and by the leave-one-out split).
+    pub ts: u32,
+}
+
+/// Validation failures when assembling an [`InteractionLog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogError {
+    /// A user index was >= the declared user count.
+    UserOutOfBounds { user: u32, n_users: u32 },
+    /// An item index was >= the declared item count.
+    ItemOutOfBounds { item: u32, n_items: u32 },
+    /// A behavior index was >= the declared behavior count.
+    BehaviorOutOfBounds { behavior: u8, n_behaviors: u8 },
+}
+
+impl std::fmt::Display for LogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LogError::UserOutOfBounds { user, n_users } => {
+                write!(f, "user {user} out of bounds (n_users = {n_users})")
+            }
+            LogError::ItemOutOfBounds { item, n_items } => {
+                write!(f, "item {item} out of bounds (n_items = {n_items})")
+            }
+            LogError::BehaviorOutOfBounds { behavior, n_behaviors } => {
+                write!(f, "behavior {behavior} out of bounds (n_behaviors = {n_behaviors})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+/// A validated, deduplicated set of interaction events.
+///
+/// Duplicate `(user, item, behavior)` triples are collapsed keeping the
+/// earliest timestamp (an interaction either exists or not in the binary
+/// tensor `X`; repeat events do not create parallel edges).
+#[derive(Clone, Debug)]
+pub struct InteractionLog {
+    n_users: u32,
+    n_items: u32,
+    behaviors: Vec<String>,
+    events: Vec<Interaction>,
+}
+
+impl InteractionLog {
+    /// Validates and assembles a log.
+    ///
+    /// Events are sorted by `(user, behavior, ts, item)` and duplicate
+    /// `(user, item, behavior)` triples are merged.
+    pub fn new(
+        n_users: u32,
+        n_items: u32,
+        behaviors: Vec<String>,
+        mut events: Vec<Interaction>,
+    ) -> Result<Self, LogError> {
+        let n_behaviors = behaviors.len() as u8;
+        for e in &events {
+            if e.user >= n_users {
+                return Err(LogError::UserOutOfBounds { user: e.user, n_users });
+            }
+            if e.item >= n_items {
+                return Err(LogError::ItemOutOfBounds { item: e.item, n_items });
+            }
+            if e.behavior >= n_behaviors {
+                return Err(LogError::BehaviorOutOfBounds { behavior: e.behavior, n_behaviors });
+            }
+        }
+        // Merge duplicates keeping the earliest timestamp.
+        events.sort_unstable_by_key(|e| (e.user, e.item, e.behavior, e.ts));
+        events.dedup_by_key(|e| (e.user, e.item, e.behavior));
+        // Final order: by user, then behavior, then time.
+        events.sort_unstable_by_key(|e| (e.user, e.behavior, e.ts, e.item));
+        Ok(Self { n_users, n_items, behaviors, events })
+    }
+
+    /// Declared number of users.
+    pub fn n_users(&self) -> u32 {
+        self.n_users
+    }
+
+    /// Declared number of items.
+    pub fn n_items(&self) -> u32 {
+        self.n_items
+    }
+
+    /// Behavior names, indexed by behavior id.
+    pub fn behaviors(&self) -> &[String] {
+        &self.behaviors
+    }
+
+    /// Number of behavior types.
+    pub fn n_behaviors(&self) -> usize {
+        self.behaviors.len()
+    }
+
+    /// All events (sorted by user, behavior, time).
+    pub fn events(&self) -> &[Interaction] {
+        &self.events
+    }
+
+    /// Total number of (deduplicated) interactions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of interactions of one behavior type.
+    pub fn count_behavior(&self, behavior: u8) -> usize {
+        self.events.iter().filter(|e| e.behavior == behavior).count()
+    }
+
+    /// Looks up a behavior id by name.
+    pub fn behavior_id(&self, name: &str) -> Option<u8> {
+        self.behaviors.iter().position(|b| b == name).map(|p| p as u8)
+    }
+
+    /// The events of one user, in `(behavior, ts)` order.
+    pub fn user_events(&self, user: u32) -> &[Interaction] {
+        let start = self.events.partition_point(|e| e.user < user);
+        let end = self.events.partition_point(|e| e.user <= user);
+        &self.events[start..end]
+    }
+
+    /// A user's events across all behaviors ordered by timestamp (used by
+    /// sequence baselines such as DIPN).
+    pub fn user_timeline(&self, user: u32) -> Vec<Interaction> {
+        let mut evs: Vec<Interaction> = self.user_events(user).to_vec();
+        evs.sort_unstable_by_key(|e| (e.ts, e.behavior, e.item));
+        evs
+    }
+
+    /// Removes a single `(user, item, behavior)` edge, returning whether it
+    /// was present. Used by the leave-one-out split.
+    pub fn remove(&mut self, user: u32, item: u32, behavior: u8) -> bool {
+        let before = self.events.len();
+        self.events
+            .retain(|e| !(e.user == user && e.item == item && e.behavior == behavior));
+        before != self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(user: u32, item: u32, behavior: u8, ts: u32) -> Interaction {
+        Interaction { user, item, behavior, ts }
+    }
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("b{i}")).collect()
+    }
+
+    #[test]
+    fn validates_bounds() {
+        let err = InteractionLog::new(2, 2, names(1), vec![ev(2, 0, 0, 0)]).unwrap_err();
+        assert!(matches!(err, LogError::UserOutOfBounds { user: 2, .. }));
+        let err = InteractionLog::new(2, 2, names(1), vec![ev(0, 5, 0, 0)]).unwrap_err();
+        assert!(matches!(err, LogError::ItemOutOfBounds { item: 5, .. }));
+        let err = InteractionLog::new(2, 2, names(1), vec![ev(0, 0, 3, 0)]).unwrap_err();
+        assert!(matches!(err, LogError::BehaviorOutOfBounds { behavior: 3, .. }));
+    }
+
+    #[test]
+    fn dedups_keeping_earliest_ts() {
+        let log = InteractionLog::new(
+            2,
+            2,
+            names(2),
+            vec![ev(0, 1, 0, 9), ev(0, 1, 0, 3), ev(0, 1, 1, 5)],
+        )
+        .unwrap();
+        assert_eq!(log.len(), 2);
+        let kept = log.user_events(0);
+        assert_eq!(kept.iter().find(|e| e.behavior == 0).unwrap().ts, 3);
+    }
+
+    #[test]
+    fn user_events_are_contiguous() {
+        let log = InteractionLog::new(
+            3,
+            4,
+            names(2),
+            vec![ev(1, 0, 0, 1), ev(0, 2, 1, 2), ev(1, 3, 1, 0), ev(2, 1, 0, 5)],
+        )
+        .unwrap();
+        assert_eq!(log.user_events(0).len(), 1);
+        assert_eq!(log.user_events(1).len(), 2);
+        assert_eq!(log.user_events(2).len(), 1);
+        assert!(log.user_events(1).iter().all(|e| e.user == 1));
+    }
+
+    #[test]
+    fn timeline_sorted_by_time() {
+        let log = InteractionLog::new(
+            1,
+            5,
+            names(2),
+            vec![ev(0, 0, 1, 30), ev(0, 1, 0, 10), ev(0, 2, 0, 20)],
+        )
+        .unwrap();
+        let tl = log.user_timeline(0);
+        let ts: Vec<u32> = tl.iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let log = InteractionLog::new(
+            2,
+            2,
+            vec!["view".into(), "buy".into()],
+            vec![ev(0, 0, 0, 0), ev(0, 1, 0, 1), ev(1, 0, 1, 2)],
+        )
+        .unwrap();
+        assert_eq!(log.count_behavior(0), 2);
+        assert_eq!(log.count_behavior(1), 1);
+        assert_eq!(log.behavior_id("buy"), Some(1));
+        assert_eq!(log.behavior_id("nope"), None);
+    }
+
+    #[test]
+    fn remove_edge() {
+        let mut log =
+            InteractionLog::new(1, 2, names(1), vec![ev(0, 0, 0, 0), ev(0, 1, 0, 1)]).unwrap();
+        assert!(log.remove(0, 1, 0));
+        assert!(!log.remove(0, 1, 0));
+        assert_eq!(log.len(), 1);
+    }
+}

@@ -1,0 +1,86 @@
+//! Degree normalization of adjacency matrices.
+//!
+//! Eq. 2 of the paper sums neighbor embeddings. Raw sums scale with node
+//! degree and destabilize deep propagation, so (matching the authors'
+//! released implementation) the reproduction normalizes the per-behavior
+//! adjacency. The literal sum is kept available and benchmarked in the
+//! `ablations` bench.
+
+use gnmr_tensor::Csr;
+
+/// How neighbor messages are normalized before aggregation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum NeighborNorm {
+    /// Literal Eq. 2: plain sum over neighbors.
+    Sum,
+    /// Mean over neighbors (row-normalized adjacency). The default.
+    #[default]
+    Mean,
+    /// Symmetric `1/sqrt(deg_u * deg_i)` normalization (GCN/NGCF style).
+    InvSqrt,
+}
+
+impl NeighborNorm {
+    /// Applies the normalization to an adjacency matrix.
+    pub fn apply(self, adj: &Csr) -> Csr {
+        match self {
+            NeighborNorm::Sum => adj.clone(),
+            NeighborNorm::Mean => adj.row_normalized(),
+            NeighborNorm::InvSqrt => adj.sym_normalized(),
+        }
+    }
+
+    /// All variants, for ablation sweeps.
+    pub fn all() -> [NeighborNorm; 3] {
+        [NeighborNorm::Sum, NeighborNorm::Mean, NeighborNorm::InvSqrt]
+    }
+
+    /// A short stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            NeighborNorm::Sum => "sum",
+            NeighborNorm::Mean => "mean",
+            NeighborNorm::InvSqrt => "invsqrt",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adj() -> Csr {
+        Csr::from_triplets(2, 3, &[(0, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0)])
+    }
+
+    #[test]
+    fn sum_is_identity() {
+        let a = adj();
+        assert_eq!(NeighborNorm::Sum.apply(&a), a);
+    }
+
+    #[test]
+    fn mean_rows_sum_to_one() {
+        let n = NeighborNorm::Mean.apply(&adj());
+        let sums = n.to_dense().row_sums();
+        assert!((sums.get(0, 0) - 1.0).abs() < 1e-6);
+        assert!((sums.get(1, 0) - 1.0).abs() < 1e-6);
+        assert!((n.to_dense().get(0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invsqrt_matches_degrees() {
+        let n = NeighborNorm::InvSqrt.apply(&adj());
+        let d = n.to_dense();
+        // deg(u0)=2, deg(i0)=1 => 1/sqrt(2).
+        assert!((d.get(0, 0) - 1.0 / 2.0f32.sqrt()).abs() < 1e-6);
+        // deg(u1)=1, deg(i2)=1 => 1.
+        assert!((d.get(1, 2) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<_> = NeighborNorm::all().iter().map(|n| n.label()).collect();
+        assert_eq!(labels, vec!["sum", "mean", "invsqrt"]);
+    }
+}

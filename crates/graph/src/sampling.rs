@@ -1,0 +1,248 @@
+//! Positive/negative sampling for pairwise training and evaluation.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::multigraph::MultiBehaviorGraph;
+
+/// Samples items a user has *not* interacted with under the target
+/// behavior (the paper's negative-instance definition for both training
+/// and the 99-negative evaluation candidates).
+pub struct NegativeSampler<'g> {
+    graph: &'g MultiBehaviorGraph,
+}
+
+impl<'g> NegativeSampler<'g> {
+    /// Creates a sampler over the target behavior of `graph`.
+    pub fn new(graph: &'g MultiBehaviorGraph) -> Self {
+        Self { graph }
+    }
+
+    /// Uniformly samples one target-behavior negative for `user`.
+    ///
+    /// # Panics
+    /// If the user has interacted with every item (impossible in any
+    /// realistic dataset; guarded to avoid an infinite loop).
+    pub fn sample_one(&self, user: u32, rng: &mut impl Rng) -> u32 {
+        let n_items = self.graph.n_items() as u32;
+        let interacted = self.graph.user_degree(user, self.graph.target()) as u32;
+        assert!(
+            interacted < n_items,
+            "user {user} interacted with all {n_items} items; cannot sample a negative"
+        );
+        loop {
+            let item = rng.gen_range(0..n_items);
+            if !self.graph.has_edge(user, item, self.graph.target()) {
+                return item;
+            }
+        }
+    }
+
+    /// Samples `n` distinct negatives for `user`, excluding `extra_exclude`
+    /// (e.g. the held-out test positive).
+    ///
+    /// Falls back to enumerating the complement when the request cannot be
+    /// satisfied by rejection sampling (very dense users).
+    pub fn sample_distinct(
+        &self,
+        user: u32,
+        n: usize,
+        extra_exclude: &[u32],
+        rng: &mut impl Rng,
+    ) -> Vec<u32> {
+        let n_items = self.graph.n_items() as u32;
+        let target = self.graph.target();
+        let mut out = Vec::with_capacity(n);
+        let mut attempts = 0usize;
+        let max_attempts = n * 30 + 200;
+        while out.len() < n && attempts < max_attempts {
+            attempts += 1;
+            let item = rng.gen_range(0..n_items);
+            if self.graph.has_edge(user, item, target)
+                || extra_exclude.contains(&item)
+                || out.contains(&item)
+            {
+                continue;
+            }
+            out.push(item);
+        }
+        if out.len() < n {
+            // Dense user: enumerate all valid negatives and shuffle.
+            let mut pool: Vec<u32> = (0..n_items)
+                .filter(|&i| {
+                    !self.graph.has_edge(user, i, target)
+                        && !extra_exclude.contains(&i)
+                        && !out.contains(&i)
+                })
+                .collect();
+            pool.shuffle(rng);
+            out.extend(pool.into_iter().take(n - out.len()));
+        }
+        out
+    }
+}
+
+/// One training batch: aligned `(user, positive item, negative item)`
+/// triples, `samples_per_user` of each per sampled user (the paper's `S`).
+#[derive(Clone, Debug, Default)]
+pub struct TrainBatch {
+    /// Users, one entry per (pos, neg) pair.
+    pub users: Vec<u32>,
+    /// Positive (interacted) items under the target behavior.
+    pub pos_items: Vec<u32>,
+    /// Negative (non-interacted) items under the target behavior.
+    pub neg_items: Vec<u32>,
+}
+
+impl TrainBatch {
+    /// Number of (user, pos, neg) triples.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+}
+
+/// Samples training batches following Algorithm 1: draw seed users, then
+/// `S` positive and `S` negative items per user.
+pub struct BatchSampler<'g> {
+    graph: &'g MultiBehaviorGraph,
+    eligible_users: Vec<u32>,
+    negatives: NegativeSampler<'g>,
+}
+
+impl<'g> BatchSampler<'g> {
+    /// Creates a sampler; only users with at least one target-behavior
+    /// interaction are eligible seeds.
+    pub fn new(graph: &'g MultiBehaviorGraph) -> Self {
+        let target = graph.target();
+        let eligible_users = (0..graph.n_users() as u32)
+            .filter(|&u| graph.user_degree(u, target) > 0)
+            .collect();
+        Self { graph, eligible_users, negatives: NegativeSampler::new(graph) }
+    }
+
+    /// Users with at least one target positive.
+    pub fn eligible_users(&self) -> &[u32] {
+        &self.eligible_users
+    }
+
+    /// Samples a batch of `batch_users` seed users with `samples_per_user`
+    /// positive/negative pairs each.
+    pub fn sample(
+        &self,
+        batch_users: usize,
+        samples_per_user: usize,
+        rng: &mut impl Rng,
+    ) -> TrainBatch {
+        let mut batch = TrainBatch::default();
+        if self.eligible_users.is_empty() {
+            return batch;
+        }
+        let target = self.graph.target();
+        for _ in 0..batch_users {
+            let user = self.eligible_users[rng.gen_range(0..self.eligible_users.len())];
+            let positives = self.graph.user_items(user, target);
+            for _ in 0..samples_per_user {
+                let pos = positives[rng.gen_range(0..positives.len())];
+                let neg = self.negatives.sample_one(user, rng);
+                batch.users.push(user);
+                batch.pos_items.push(pos);
+                batch.neg_items.push(neg);
+            }
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interactions::{Interaction, InteractionLog};
+    use gnmr_tensor::rng::seeded;
+
+    fn graph() -> MultiBehaviorGraph {
+        let ev = |user, item, behavior, ts| Interaction { user, item, behavior, ts };
+        let mut events = Vec::new();
+        // User 0 likes items 0..5; user 1 likes item 7; user 2 has only views.
+        for i in 0..5 {
+            events.push(ev(0, i, 1, i));
+        }
+        events.push(ev(1, 7, 1, 0));
+        events.push(ev(2, 3, 0, 0));
+        let log = InteractionLog::new(3, 10, vec!["view".into(), "like".into()], events).unwrap();
+        MultiBehaviorGraph::from_log(&log, "like")
+    }
+
+    #[test]
+    fn negatives_are_never_positives() {
+        let g = graph();
+        let sampler = NegativeSampler::new(&g);
+        let mut rng = seeded(1);
+        for _ in 0..200 {
+            let n = sampler.sample_one(0, &mut rng);
+            assert!(!g.has_edge(0, n, g.target()), "sampled positive {n}");
+        }
+    }
+
+    #[test]
+    fn distinct_negatives_respect_exclusions() {
+        let g = graph();
+        let sampler = NegativeSampler::new(&g);
+        let mut rng = seeded(2);
+        let negs = sampler.sample_distinct(0, 4, &[9], &mut rng);
+        assert_eq!(negs.len(), 4);
+        let mut unique = negs.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 4, "negatives must be distinct");
+        assert!(!negs.contains(&9), "excluded item sampled");
+        for &n in &negs {
+            assert!(!g.has_edge(0, n, g.target()));
+        }
+    }
+
+    #[test]
+    fn dense_user_falls_back_to_enumeration() {
+        // User 0 likes 5 of 10 items; asking for all 5 remaining minus one
+        // exclusion forces the enumeration path.
+        let g = graph();
+        let sampler = NegativeSampler::new(&g);
+        let mut rng = seeded(3);
+        let negs = sampler.sample_distinct(0, 4, &[5], &mut rng);
+        let mut sorted = negs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn batch_sampler_only_seeds_eligible_users() {
+        let g = graph();
+        let sampler = BatchSampler::new(&g);
+        assert_eq!(sampler.eligible_users(), &[0, 1]);
+        let mut rng = seeded(4);
+        let batch = sampler.sample(8, 2, &mut rng);
+        assert_eq!(batch.len(), 16);
+        for i in 0..batch.len() {
+            let (u, p, n) = (batch.users[i], batch.pos_items[i], batch.neg_items[i]);
+            assert!(u == 0 || u == 1);
+            assert!(g.has_edge(u, p, g.target()), "pos not a positive");
+            assert!(!g.has_edge(u, n, g.target()), "neg is a positive");
+        }
+    }
+
+    #[test]
+    fn empty_target_graph_gives_empty_batches() {
+        let log = InteractionLog::new(2, 2, vec!["view".into(), "like".into()], vec![
+            Interaction { user: 0, item: 0, behavior: 0, ts: 0 },
+        ])
+        .unwrap();
+        let g = MultiBehaviorGraph::from_log(&log, "like");
+        let sampler = BatchSampler::new(&g);
+        let mut rng = seeded(5);
+        assert!(sampler.sample(4, 2, &mut rng).is_empty());
+    }
+}

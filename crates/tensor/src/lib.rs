@@ -1,0 +1,24 @@
+//! Dense and sparse matrix substrate for the GNMR reproduction.
+//!
+//! This crate is the numeric foundation of the workspace: a row-major
+//! `f32` [`Matrix`], a compressed-sparse-row matrix ([`Csr`]) with the
+//! SpMM kernels used by graph message passing, weight initializers, and
+//! deterministic RNG plumbing.
+//!
+//! # Conventions
+//!
+//! * All shapes are `(rows, cols)`; storage is row-major.
+//! * Shape mismatches are **programmer errors** and panic with a
+//!   descriptive message (the same contract as `ndarray`). Fallible
+//!   *data-dependent* operations return `Result`.
+//! * Every randomized routine takes an explicit RNG; the workspace-wide
+//!   determinism contract is "same seed, same bytes".
+
+pub mod dense;
+pub mod init;
+pub mod rng;
+pub mod sparse;
+pub mod stats;
+
+pub use dense::Matrix;
+pub use sparse::{Coo, Csr};

@@ -1,0 +1,64 @@
+//! Deterministic RNG plumbing.
+//!
+//! Every randomized component in the workspace receives its randomness
+//! through this module so that a single `u64` seed reproduces an entire
+//! experiment bit-for-bit.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Creates the workspace-standard RNG from a seed.
+pub fn seeded(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Derives an independent stream seed from a base seed and a stream label.
+///
+/// Uses the SplitMix64 finalizer so nearby `(seed, stream)` pairs produce
+/// unrelated streams. Components that need private RNGs (sampler, model
+/// init, generator, ...) call this with distinct stream ids.
+pub fn derive(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Convenience: a seeded RNG for a named sub-stream.
+pub fn substream(seed: u64, stream: u64) -> SmallRng {
+    seeded(derive(seed, stream))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = seeded(11);
+        let mut b = seeded(11);
+        for _ in 0..32 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn derive_separates_streams() {
+        let s0 = derive(1, 0);
+        let s1 = derive(1, 1);
+        let s2 = derive(2, 0);
+        assert_ne!(s0, s1);
+        assert_ne!(s0, s2);
+        // Derivation must itself be deterministic.
+        assert_eq!(derive(1, 0), s0);
+    }
+
+    #[test]
+    fn substreams_are_decorrelated() {
+        let mut a = substream(5, 1);
+        let mut b = substream(5, 2);
+        let matches = (0..64).filter(|_| a.gen::<u32>() == b.gen::<u32>()).count();
+        assert!(matches < 4, "streams look correlated: {matches} matches");
+    }
+}

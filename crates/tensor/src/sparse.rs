@@ -1,0 +1,394 @@
+//! Compressed sparse row matrices and the SpMM kernels used for graph
+//! message passing.
+
+use crate::dense::Matrix;
+
+/// A coordinate-format sparse matrix builder.
+///
+/// Entries may arrive in any order; duplicates are summed when the COO is
+/// converted to [`Csr`].
+#[derive(Clone, Debug, Default)]
+pub struct Coo {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f32)>,
+}
+
+impl Coo {
+    /// Creates an empty COO of the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, entries: Vec::new() }
+    }
+
+    /// Appends an entry.
+    ///
+    /// # Panics
+    /// If the coordinates are out of bounds.
+    pub fn push(&mut self, row: u32, col: u32, value: f32) {
+        assert!((row as usize) < self.rows, "Coo::push: row {row} out of bounds ({})", self.rows);
+        assert!((col as usize) < self.cols, "Coo::push: col {col} out of bounds ({})", self.cols);
+        self.entries.push((row, col, value));
+    }
+
+    /// Number of raw (pre-deduplication) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Converts to CSR, sorting entries and summing duplicates.
+    pub fn to_csr(mut self) -> Csr {
+        self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        rebuild_csr(self.rows, self.cols, &self.entries)
+    }
+}
+
+/// Builds a CSR from sorted COO entries, summing duplicates.
+fn rebuild_csr(rows: usize, cols: usize, sorted: &[(u32, u32, f32)]) -> Csr {
+    let mut indptr = vec![0usize; rows + 1];
+    let mut indices: Vec<u32> = Vec::with_capacity(sorted.len());
+    let mut values: Vec<f32> = Vec::with_capacity(sorted.len());
+    let mut prev: Option<(u32, u32)> = None;
+    for &(r, c, v) in sorted {
+        if prev == Some((r, c)) {
+            *values.last_mut().unwrap() += v;
+        } else {
+            indices.push(c);
+            values.push(v);
+            indptr[r as usize + 1] += 1;
+            prev = Some((r, c));
+        }
+    }
+    for i in 0..rows {
+        indptr[i + 1] += indptr[i];
+    }
+    Csr { rows, cols, indptr, indices, values }
+}
+
+/// A compressed-sparse-row matrix of `f32`.
+///
+/// Immutable once built; graph adjacency matrices are constructed once per
+/// dataset and shared (via `Arc`) with the autodiff layer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds a CSR from (row, col, value) triplets (any order, duplicates
+    /// summed).
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f32)]) -> Self {
+        let mut sorted: Vec<(u32, u32, f32)> = triplets.to_vec();
+        for &(r, c, _) in &sorted {
+            assert!((r as usize) < rows && (c as usize) < cols, "Csr::from_triplets: ({r},{c}) out of bounds for {rows}x{cols}");
+        }
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        rebuild_csr(rows, cols, &sorted)
+    }
+
+    /// An empty (all-zero) CSR.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Column indices and values of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let (s, e) = (self.indptr[r], self.indptr[r + 1]);
+        (&self.indices[s..e], &self.values[s..e])
+    }
+
+    /// Number of stored entries in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Iterates over `(row, col, value)` triplets in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals).map(move |(&c, &v)| (r as u32, c, v))
+        })
+    }
+
+    /// Sparse x dense product: `self (r x c) * dense (c x d) -> r x d`.
+    pub fn spmm(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            dense.rows(),
+            "spmm: inner dimensions differ ({}x{} * {}x{})",
+            self.rows,
+            self.cols,
+            dense.rows(),
+            dense.cols()
+        );
+        let d = dense.cols();
+        let mut out = Matrix::zeros(self.rows, d);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            let orow = out.row_mut(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let drow = dense.row(c as usize);
+                for (o, &x) in orow.iter_mut().zip(drow) {
+                    *o += v * x;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed sparse x dense product: `self^T (c x r) * dense (r x d)`.
+    ///
+    /// Used by SpMM backward passes; avoids materializing the transpose.
+    pub fn spmm_t(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows,
+            dense.rows(),
+            "spmm_t: row counts differ ({}x{} vs {}x{})",
+            self.rows,
+            self.cols,
+            dense.rows(),
+            dense.cols()
+        );
+        let d = dense.cols();
+        let mut out = Matrix::zeros(self.cols, d);
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            let drow = dense.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let orow = out.row_mut(c as usize);
+                for (o, &x) in orow.iter_mut().zip(drow) {
+                    *o += v * x;
+                }
+            }
+        }
+        out
+    }
+
+    /// The transposed CSR (materialized).
+    pub fn transpose(&self) -> Csr {
+        let triplets: Vec<(u32, u32, f32)> = self.iter().map(|(r, c, v)| (c, r, v)).collect();
+        Csr::from_triplets(self.cols, self.rows, &triplets)
+    }
+
+    /// A copy whose rows each sum to 1 (rows summing to 0 are left zero).
+    pub fn row_normalized(&self) -> Csr {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let (s, e) = (out.indptr[r], out.indptr[r + 1]);
+            let total: f32 = out.values[s..e].iter().sum();
+            if total != 0.0 {
+                for v in &mut out.values[s..e] {
+                    *v /= total;
+                }
+            }
+        }
+        out
+    }
+
+    /// A copy scaled by `1/sqrt(deg_row * deg_col)` (GCN-style symmetric
+    /// normalization on the bipartite graph), where degrees count stored
+    /// entries.
+    pub fn sym_normalized(&self) -> Csr {
+        let mut row_deg = vec![0.0f32; self.rows];
+        let mut col_deg = vec![0.0f32; self.cols];
+        for (r, c, _) in self.iter() {
+            row_deg[r as usize] += 1.0;
+            col_deg[c as usize] += 1.0;
+        }
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let (s, e) = (out.indptr[r], out.indptr[r + 1]);
+            for i in s..e {
+                let c = out.indices[i] as usize;
+                let denom = (row_deg[r] * col_deg[c]).sqrt();
+                if denom != 0.0 {
+                    out.values[i] /= denom;
+                }
+            }
+        }
+        out
+    }
+
+    /// Converts to a dense matrix (tests / small sizes only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for (r, c, v) in self.iter() {
+            out[(r as usize, c as usize)] += v;
+        }
+        out
+    }
+
+    /// Stored-entry degree of row `r` (same as [`Csr::row_nnz`]).
+    pub fn degree(&self, r: usize) -> usize {
+        self.row_nnz(r)
+    }
+
+    /// Whether the entry `(r, c)` is stored.
+    pub fn contains(&self, r: usize, c: u32) -> bool {
+        let (cols, _) = self.row(r);
+        cols.binary_search(&c).is_ok()
+    }
+}
+
+impl Coo {
+    /// Number of rows the COO was created with.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns the COO was created with.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_csr() -> Csr {
+        // [[1, 0, 2],
+        //  [0, 0, 0],
+        //  [3, 4, 0]]
+        Csr::from_triplets(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+    }
+
+    #[test]
+    fn from_triplets_sorts_and_sums_duplicates() {
+        let csr = Csr::from_triplets(2, 2, &[(1, 1, 1.0), (0, 0, 2.0), (1, 1, 3.0)]);
+        assert_eq!(csr.nnz(), 2);
+        let d = csr.to_dense();
+        assert_eq!(d.get(0, 0), 2.0);
+        assert_eq!(d.get(1, 1), 4.0);
+    }
+
+    #[test]
+    fn coo_roundtrip_matches_from_triplets() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(2, 1, 4.0);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 2, 2.0);
+        coo.push(2, 0, 3.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr, sample_csr());
+    }
+
+    #[test]
+    fn row_access() {
+        let csr = sample_csr();
+        let (cols, vals) = csr.row(0);
+        assert_eq!(cols, &[0, 2]);
+        assert_eq!(vals, &[1.0, 2.0]);
+        assert_eq!(csr.row_nnz(1), 0);
+        assert_eq!(csr.degree(2), 2);
+        assert!(csr.contains(2, 1));
+        assert!(!csr.contains(1, 0));
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let csr = sample_csr();
+        let x = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32 + 1.0);
+        let sparse_result = csr.spmm(&x);
+        let dense_result = csr.to_dense().matmul(&x);
+        assert!(sparse_result.approx_eq(&dense_result, 1e-5));
+    }
+
+    #[test]
+    fn spmm_t_matches_dense_transpose() {
+        let csr = sample_csr();
+        let x = Matrix::from_fn(3, 2, |r, c| (r + c) as f32 * 0.5 - 1.0);
+        let t_result = csr.spmm_t(&x);
+        let dense_result = csr.to_dense().transpose().matmul(&x);
+        assert!(t_result.approx_eq(&dense_result, 1e-5));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let csr = sample_csr();
+        let tt = csr.transpose().transpose();
+        assert_eq!(csr, tt);
+        assert!(csr
+            .transpose()
+            .to_dense()
+            .approx_eq(&csr.to_dense().transpose(), 0.0));
+    }
+
+    #[test]
+    fn row_normalized_rows_sum_to_one() {
+        let csr = sample_csr().row_normalized();
+        let d = csr.to_dense();
+        let sums = d.row_sums();
+        assert!((sums.get(0, 0) - 1.0).abs() < 1e-6);
+        assert_eq!(sums.get(1, 0), 0.0);
+        assert!((sums.get(2, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sym_normalized_values() {
+        let csr = Csr::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 1.0), (1, 1, 1.0)]);
+        let n = csr.sym_normalized();
+        let d = n.to_dense();
+        // deg(row0)=1, deg(row1)=2, deg(col0)=2, deg(col1)=1.
+        assert!((d.get(0, 0) - 1.0 / (1.0f32 * 2.0).sqrt()).abs() < 1e-6);
+        assert!((d.get(1, 0) - 1.0 / (2.0f32 * 2.0).sqrt()).abs() < 1e-6);
+        assert!((d.get(1, 1) - 1.0 / (2.0f32 * 1.0).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_matrix_behaves() {
+        let e = Csr::empty(4, 5);
+        assert_eq!(e.nnz(), 0);
+        let x = Matrix::ones(5, 3);
+        let y = e.spmm(&x);
+        assert_eq!(y.shape(), (4, 3));
+        assert_eq!(y.sum(), 0.0);
+    }
+
+    #[test]
+    fn iter_yields_row_major_triplets() {
+        let csr = sample_csr();
+        let triplets: Vec<_> = csr.iter().collect();
+        assert_eq!(
+            triplets,
+            vec![(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn coo_push_out_of_bounds_panics() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(2, 0, 1.0);
+    }
+}

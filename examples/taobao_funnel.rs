@@ -1,0 +1,45 @@
+//! The e-commerce funnel scenario (the paper's Taobao dataset): the
+//! target behavior (purchase) is sparse, the auxiliary behaviors
+//! (page-view, favorite, cart) are dense. This example shows the central
+//! claim of the paper — auxiliary behaviors improve target-behavior
+//! recommendation — by training GNMR with and without them.
+//!
+//! Run with: `cargo run --release -p gnmr --example taobao_funnel`
+
+use gnmr::eval::table::fmt_metric;
+use gnmr::prelude::*;
+
+fn main() {
+    let data = gnmr::data::presets::taobao_small(7);
+    println!("Taobao-like funnel dataset:\n{}\n", data.full_stats);
+    for (name, count) in &data.full_stats.per_behavior {
+        println!("  {name:5} {count:7} events");
+    }
+    println!();
+
+    let tcfg = TrainConfig { epochs: 40, lr: 0.015, weight_decay: 1e-4, ..TrainConfig::default() };
+    let ns = [10usize];
+
+    // Full multi-behavior GNMR.
+    let mut full = Gnmr::new(&data.graph, GnmrConfig::default());
+    full.fit(&data.graph, &tcfg);
+    let full_r = evaluate_parallel(&full, &data.test, &ns, 4);
+
+    // Target-behavior-only variant ("only buy"): the propagation graph
+    // keeps just the purchase channel.
+    let only = data.target_only();
+    let mut target_only = Gnmr::new(&only.graph, GnmrConfig::default());
+    target_only.fit(&only.graph, &tcfg);
+    let only_r = evaluate_parallel(&target_only, &data.test, &ns, 4);
+
+    let pop = PopularityRecommender::fit(&data.graph);
+    let pop_r = evaluate_parallel(&pop, &data.test, &ns, 4);
+
+    let mut t = Table::new(&["Model", "HR@10", "NDCG@10"]);
+    t.row(&["Popularity".into(), fmt_metric(pop_r.hr_at(10)), fmt_metric(pop_r.ndcg_at(10))]);
+    t.row(&["GNMR (only buy)".into(), fmt_metric(only_r.hr_at(10)), fmt_metric(only_r.ndcg_at(10))]);
+    t.row(&["GNMR (pv+fav+cart+buy)".into(), fmt_metric(full_r.hr_at(10)), fmt_metric(full_r.ndcg_at(10))]);
+    println!("{t}");
+    let gain = 100.0 * (full_r.hr_at(10) - only_r.hr_at(10)) / only_r.hr_at(10).max(1e-9);
+    println!("multi-behavior HR@10 gain over only-buy: {gain:+.1}%");
+}

@@ -1,0 +1,55 @@
+//! Every baseline runs through the shared evaluation protocol and
+//! produces sane, better-than-chance rankings on the tiny dataset.
+
+use gnmr::prelude::*;
+
+fn check(name: &str, model: &dyn Recommender, data: &Dataset, random_hr: f64) {
+    let r = evaluate(model, &data.test, &[1, 10]);
+    assert!(r.hr_at(10).is_finite(), "{name}: non-finite metric");
+    assert!((0.0..=1.0).contains(&r.hr_at(10)), "{name}: HR out of range");
+    assert!(r.hr_at(1) <= r.hr_at(10), "{name}: HR not monotone");
+    assert!(
+        r.hr_at(10) > random_hr - 0.02,
+        "{name}: HR@10 {:.3} below random {:.3}",
+        r.hr_at(10),
+        random_hr
+    );
+    // Scores must be reproducible for the same input.
+    let a = model.score(0, &[1, 2, 3]);
+    let b = model.score(0, &[1, 2, 3]);
+    assert_eq!(a, b, "{name}: unstable scores");
+}
+
+#[test]
+fn all_baselines_pass_the_protocol() {
+    let data = gnmr::data::presets::tiny_movielens(3);
+    let random_hr = evaluate(&RandomRecommender::new(1), &data.test, &[1, 10]).hr_at(10);
+    let cfg = BaselineConfig { epochs: 12, ..BaselineConfig::fast_test() };
+
+    check("BiasMF", &BiasMf::fit(&data.graph, &cfg), &data, random_hr);
+    check("DMF", &Dmf::fit(&data.graph, &cfg), &data, random_hr);
+    check("NCF-G", &Ncf::fit(&data.graph, &cfg, NcfVariant::Gmf), &data, random_hr);
+    check("NCF-M", &Ncf::fit(&data.graph, &cfg, NcfVariant::Mlp), &data, random_hr);
+    check("NCF-N", &Ncf::fit(&data.graph, &cfg, NcfVariant::NeuMf), &data, random_hr);
+    check("AutoRec", &AutoRec::fit(&data.graph, &cfg), &data, random_hr);
+    check("CDAE", &Cdae::fit(&data.graph, &cfg), &data, random_hr);
+    check("NADE", &Nade::fit(&data.graph, &cfg), &data, random_hr);
+    check("CF-UIcA", &CfUica::fit(&data.graph, &cfg), &data, random_hr);
+    check("NGCF", &Ngcf::fit(&data.graph, &cfg), &data, random_hr);
+    check("NMTR", &Nmtr::fit(&data.graph, &cfg), &data, random_hr);
+    check("DIPN", &Dipn::fit(&data.graph, &data.train_log, &cfg), &data, random_hr);
+}
+
+#[test]
+fn multi_behavior_baselines_consume_all_channels() {
+    // NMTR and DIPN must behave differently when auxiliary behaviors are
+    // removed (they are the multi-behavior baselines).
+    let data = gnmr::data::presets::tiny_taobao(3);
+    let only = data.target_only();
+    let cfg = BaselineConfig { epochs: 6, ..BaselineConfig::fast_test() };
+    let full = Nmtr::fit(&data.graph, &cfg);
+    let reduced = Nmtr::fit(&only.graph, &cfg);
+    let a = full.score(0, &[1, 2, 3, 4, 5]);
+    let b = reduced.score(0, &[1, 2, 3, 4, 5]);
+    assert_ne!(a, b, "NMTR ignored auxiliary behaviors");
+}

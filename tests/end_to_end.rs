@@ -1,0 +1,68 @@
+//! End-to-end pipeline: generate -> split -> train -> evaluate ->
+//! recommend, with quality floors.
+
+use gnmr::prelude::*;
+
+#[test]
+fn gnmr_end_to_end_beats_floors() {
+    let data = gnmr::data::presets::tiny_movielens(3);
+    let mut model = Gnmr::new(
+        &data.graph,
+        GnmrConfig { pretrain: false, seed: 5, ..GnmrConfig::default() },
+    );
+    let report = model.fit(&data.graph, &TrainConfig { epochs: 25, ..TrainConfig::fast_test() });
+    assert!(report.final_loss() < report.epoch_losses[0], "training did not reduce loss");
+
+    let ns = [1, 5, 10];
+    let gnmr = evaluate_parallel(&model, &data.test, &ns, 2);
+    let random = evaluate(&RandomRecommender::new(9), &data.test, &ns);
+    assert!(
+        gnmr.hr_at(10) > random.hr_at(10) + 0.15,
+        "GNMR {:.3} vs random {:.3}",
+        gnmr.hr_at(10),
+        random.hr_at(10)
+    );
+    // Metric sanity.
+    for &n in &ns {
+        assert!((0.0..=1.0).contains(&gnmr.hr_at(n)));
+        assert!(gnmr.ndcg_at(n) <= gnmr.hr_at(n) + 1e-9);
+    }
+    assert!(gnmr.hr_at(1) <= gnmr.hr_at(5));
+    assert!(gnmr.hr_at(5) <= gnmr.hr_at(10));
+}
+
+#[test]
+fn recommendations_exclude_seen_and_are_sorted() {
+    let data = gnmr::data::presets::tiny_movielens(3);
+    let mut model = Gnmr::new(
+        &data.graph,
+        GnmrConfig { pretrain: false, seed: 5, ..GnmrConfig::default() },
+    );
+    model.fit(&data.graph, &TrainConfig { epochs: 5, ..TrainConfig::fast_test() });
+
+    for user in [0u32, 7, 23] {
+        let seen = data.graph.user_items(user, data.graph.target()).to_vec();
+        let recs = model.recommend(user, 10, &seen);
+        assert_eq!(recs.len(), 10);
+        for (item, score) in &recs {
+            assert!(!seen.contains(item), "recommended a seen item");
+            assert!(score.is_finite());
+        }
+        for pair in recs.windows(2) {
+            assert!(pair[0].1 >= pair[1].1, "not sorted by score");
+        }
+    }
+}
+
+#[test]
+fn parallel_and_sequential_evaluation_agree() {
+    let data = gnmr::data::presets::tiny_movielens(3);
+    let mut model = Gnmr::new(
+        &data.graph,
+        GnmrConfig { pretrain: false, seed: 5, ..GnmrConfig::default() },
+    );
+    model.fit(&data.graph, &TrainConfig { epochs: 3, ..TrainConfig::fast_test() });
+    let seq = evaluate(&model, &data.test, &[10]);
+    let par = evaluate_parallel(&model, &data.test, &[10], 4);
+    assert_eq!(seq, par);
+}
