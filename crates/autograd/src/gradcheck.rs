@@ -53,7 +53,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gnmr_tensor::{init, rng::seeded, Matrix};
+    use gnmr_tensor::{init, rng::seeded};
 
     fn random_store(shapes: &[(&str, usize, usize)], seed: u64) -> ParamStore {
         let mut rng = seeded(seed);

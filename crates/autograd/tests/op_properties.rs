@@ -5,7 +5,6 @@
 use gnmr_autograd::{max_grad_error, Ctx, ParamStore, Var};
 use gnmr_tensor::Matrix;
 use proptest::prelude::*;
-use proptest::strategy::{Strategy as _, ValueTree as _};
 
 const TOL: f32 = 2e-2;
 

@@ -68,6 +68,9 @@ impl DipnNet {
 
         let mut h = ctx.constant(Matrix::zeros(users.len(), self.dim));
         let mut states = Vec::with_capacity(SEQ_LEN);
+        // `t` walks time steps of every user's sequence in lockstep, so a
+        // plain index loop is clearer than zipping SEQ_LEN iterators.
+        #[allow(clippy::needless_range_loop)]
         for t in 0..SEQ_LEN {
             let items: Vec<u32> = users.iter().map(|&u| sequences[u as usize][t].0).collect();
             let behaviors: Vec<u32> =

@@ -41,7 +41,7 @@ impl NgcfNet {
             let m_u = ctx.g.spmm(Arc::clone(&self.adj_ui), e_v);
             let m_v = ctx.g.spmm(Arc::clone(&self.adj_iu), e_u);
 
-            let mut side = |ctx: &mut Ctx<'_>, e: Var, m: Var| -> Var {
+            let side = |ctx: &mut Ctx<'_>, e: Var, m: Var| -> Var {
                 let self_plus_msg = ctx.g.add(e, m);
                 let lin = ctx.g.matmul(self_plus_msg, w1);
                 let bi = ctx.g.mul(m, e);

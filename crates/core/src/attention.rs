@@ -54,17 +54,17 @@ pub(crate) fn apply(ctx: &mut Ctx<'_>, prefix: &str, behaviors: &[Var], cfg: &Gn
         for s in 0..cfg.heads {
             // Per-node relevance of k against every k'.
             let mut score_cols = Vec::with_capacity(k_types);
-            for k_prime in 0..k_types {
-                let dot = ctx.g.row_dot(queries[s][k], keys[s][k_prime]); // (n, 1)
+            for &key in &keys[s] {
+                let dot = ctx.g.row_dot(queries[s][k], key); // (n, 1)
                 score_cols.push(ctx.g.scale(dot, scale));
             }
             let scores = ctx.g.concat_cols(&score_cols); // (n, K)
             let beta = ctx.g.softmax_rows(scores);
             // Weighted combination of the value projections.
             let mut head: Option<Var> = None;
-            for k_prime in 0..k_types {
+            for (k_prime, &value) in values[s].iter().enumerate() {
                 let w = ctx.g.slice_cols(beta, k_prime, k_prime + 1);
-                let term = ctx.g.mul_col_broadcast(values[s][k_prime], w);
+                let term = ctx.g.mul_col_broadcast(value, w);
                 head = Some(match head {
                     Some(acc) => ctx.g.add(acc, term),
                     None => term,

@@ -106,7 +106,7 @@ impl GnmrConfig {
     /// On an invalid configuration.
     pub fn validate(&self) {
         assert!(self.dim > 0, "dim must be positive");
-        assert!(self.heads > 0 && self.dim % self.heads == 0, "heads ({}) must divide dim ({})", self.heads, self.dim);
+        assert!(self.heads > 0 && self.dim.is_multiple_of(self.heads), "heads ({}) must divide dim ({})", self.heads, self.dim);
         assert!(self.memory_dims > 0, "memory_dims must be positive");
         assert!(self.fusion_hidden > 0, "fusion_hidden must be positive");
     }

@@ -1,0 +1,56 @@
+//! Smoke test of the workspace wiring itself: every re-exported module
+//! of the facade must be reachable under its `gnmr::` path, and
+//! `prelude::*` must compile and expose the headline types.
+
+use gnmr::prelude::*;
+
+#[test]
+fn every_reexported_module_is_reachable() {
+    // tensor
+    let m = gnmr::tensor::Matrix::zeros(2, 3);
+    assert_eq!((m.rows(), m.cols()), (2, 3));
+    let _csr = gnmr::tensor::Csr::from_triplets(2, 2, &[(0, 1, 1.0)]);
+    let _rng = gnmr::tensor::rng::seeded(1);
+
+    // autograd
+    let store = gnmr::autograd::ParamStore::new();
+    assert_eq!(store.len(), 0);
+
+    // graph
+    let log = gnmr::graph::InteractionLog::new(
+        2,
+        2,
+        vec!["view".into(), "buy".into()],
+        vec![gnmr::graph::Interaction { user: 0, item: 1, behavior: 1, ts: 0 }],
+    )
+    .unwrap();
+    let g = gnmr::graph::MultiBehaviorGraph::from_log(&log, "buy");
+    assert_eq!(g.n_behaviors(), 2);
+
+    // data
+    let data = gnmr::data::presets::tiny_movielens(7);
+    assert!(data.graph.total_interactions() > 0);
+
+    // eval
+    let rec = gnmr::eval::PopularityRecommender::fit(&data.graph);
+    let report = gnmr::eval::evaluate(&rec, &data.test, &[10]);
+    assert!(report.hr_at(10) >= 0.0);
+
+    // core
+    let _cfg = gnmr::core::GnmrConfig::default();
+
+    // baselines
+    let _bcfg = gnmr::baselines::BaselineConfig::default();
+}
+
+#[test]
+fn prelude_exposes_the_headline_types() {
+    // Each binding below fails to compile if the prelude re-export goes
+    // missing, which is the point of this test.
+    let _ = GnmrConfig::default();
+    let _ = TrainConfig::fast_test();
+    let _ = BaselineConfig::default();
+    fn assert_recommender<R: Recommender>() {}
+    assert_recommender::<PopularityRecommender>();
+    assert_recommender::<RandomRecommender>();
+}

@@ -226,11 +226,11 @@ impl Csr {
             col_deg[c as usize] += 1.0;
         }
         let mut out = self.clone();
-        for r in 0..out.rows {
+        for (r, &rd) in row_deg.iter().enumerate() {
             let (s, e) = (out.indptr[r], out.indptr[r + 1]);
             for i in s..e {
                 let c = out.indices[i] as usize;
-                let denom = (row_deg[r] * col_deg[c]).sqrt();
+                let denom = (rd * col_deg[c]).sqrt();
                 if denom != 0.0 {
                     out.values[i] /= denom;
                 }

@@ -1,0 +1,417 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! Provides the surface the GNMR workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`],
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map` /
+//!   `new_tree`, implemented for integer and float ranges and tuples,
+//! * [`collection::vec`],
+//! * [`test_runner::TestRunner`] and [`test_runner::ProptestConfig`].
+//!
+//! Unlike real proptest this subset does **not** shrink failing inputs;
+//! a failure reports the case index and the assertion message. Sampling
+//! is deterministic: every test function runs from a fixed-seed runner.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    /// How many cases each property runs.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Deterministic sampling state shared by all strategies of one test.
+    #[derive(Clone, Debug)]
+    pub struct TestRunner {
+        rng: SmallRng,
+        config: ProptestConfig,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { rng: SmallRng::seed_from_u64(0x853C_49E6_748F_EA9B), config }
+        }
+
+        /// A runner with a fixed seed and default config (the real
+        /// proptest API for reproducible standalone sampling).
+        pub fn deterministic() -> Self {
+            Self::new(ProptestConfig::default())
+        }
+
+        pub fn config(&self) -> &ProptestConfig {
+            &self.config
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.rng.next_u64()
+        }
+
+        pub(crate) fn rng(&mut self) -> &mut SmallRng {
+            &mut self.rng
+        }
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            Self::deterministic()
+        }
+    }
+
+    /// Why a strategy or test case failed.
+    #[derive(Clone, Debug)]
+    pub struct Reason(String);
+
+    impl Reason {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Reason(msg.into())
+        }
+    }
+
+    impl core::fmt::Display for Reason {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl<S: Into<String>> From<S> for Reason {
+        fn from(s: S) -> Self {
+            Reason(s.into())
+        }
+    }
+
+    pub type TestCaseError = Reason;
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+pub mod strategy {
+    use crate::test_runner::{Reason, TestRunner};
+    use core::ops::Range;
+
+    /// A sampled value. This subset does not shrink, so the tree is just
+    /// the value itself.
+    pub trait ValueTree {
+        type Value;
+
+        fn current(&self) -> Self::Value;
+    }
+
+    /// The tree produced by every strategy here: one concrete sample.
+    #[derive(Clone, Debug)]
+    pub struct SampledTree<T: Clone>(pub(crate) T);
+
+    impl<T: Clone> ValueTree for SampledTree<T> {
+        type Value = T;
+
+        fn current(&self) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value: Clone;
+
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+        fn new_tree(&self, runner: &mut TestRunner) -> Result<SampledTree<Self::Value>, Reason>
+        where
+            Self: Sized,
+        {
+            Ok(SampledTree(self.generate(runner)))
+        }
+
+        fn prop_map<O: Clone, F: Fn(Self::Value) -> O>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, map }
+        }
+
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, flat: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { source: self, flat }
+        }
+    }
+
+    /// A strategy that always yields the same value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S: Strategy, O: Clone, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, runner: &mut TestRunner) -> O {
+            (self.map)(self.source.generate(runner))
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        flat: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+
+        fn generate(&self, runner: &mut TestRunner) -> T::Value {
+            (self.flat)(self.source.generate(runner)).generate(runner)
+        }
+    }
+
+    // Range sampling delegates to the vendored `rand` so the uniform
+    // integer/float logic lives in exactly one place.
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, runner: &mut TestRunner) -> $t {
+                    rand::Rng::gen_range(runner.rng(), self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(runner),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, G);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use core::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec`]: an exact size or a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Strategy for a `Vec` whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let span = self.size.hi_exclusive - self.size.lo;
+            let n = self.size.lo + (runner.next_u64() as usize) % span.max(1);
+            (0..n).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy, ValueTree};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            __l,
+            __r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            __l
+        );
+    }};
+}
+
+/// Declares property tests. Each argument is drawn fresh from its
+/// strategy for every case; a failing `prop_assert!` aborts that case
+/// with a message (no shrinking in this subset).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __runner = $crate::test_runner::TestRunner::new(__config.clone());
+            for __case in 0..__config.cases {
+                let __outcome: $crate::test_runner::TestCaseResult = (|| {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __runner);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = __outcome {
+                    panic!("property failed at case {}/{}: {}", __case + 1, __config.cases, e);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, 5usize..9), f in -1.0f32..1.0) {
+            prop_assert!(a < 10);
+            prop_assert!((5..9).contains(&b));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn maps_and_vecs(v in crate::collection::vec((0u8..4).prop_map(|x| x * 2), 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            for x in v {
+                prop_assert!(x % 2 == 0, "odd value {}", x);
+            }
+        }
+
+        #[test]
+        fn flat_map_respects_inner(len in 1usize..5, v in (1usize..4).prop_flat_map(|n| crate::collection::vec(0u32..100, n))) {
+            prop_assert!(len >= 1);
+            prop_assert!(!v.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_runner_reproduces() {
+        let strat = crate::collection::vec(0u64..1000, 3..7);
+        let mut r1 = TestRunner::deterministic();
+        let mut r2 = TestRunner::deterministic();
+        let a = crate::strategy::Strategy::new_tree(&strat, &mut r1).unwrap().current();
+        let b = crate::strategy::Strategy::new_tree(&strat, &mut r2).unwrap().current();
+        assert_eq!(a, b);
+    }
+}
