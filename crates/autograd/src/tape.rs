@@ -8,10 +8,18 @@
 //! Shapes are validated eagerly when an op is recorded, so a mis-shaped
 //! model fails at construction time with a clear message rather than
 //! during backward.
+//!
+//! The tape owns no loops over matrix elements itself: forward values
+//! and backward contributions are produced by [`gnmr_tensor`] ops, so
+//! `matmul`/`spmm` (and their transposed backward counterparts) inherit
+//! the tiled, thread-parallel kernels of `gnmr_tensor::kernels`, and
+//! gradient accumulation (`add_assign`, the `gather_rows` scatter-add)
+//! runs on the same shared pool where the buffers are large enough to
+//! amortize it.
 
 use std::sync::Arc;
 
-use gnmr_tensor::{stats, Csr, Matrix};
+use gnmr_tensor::{kernels, stats, Csr, Matrix};
 
 /// A handle to a node in a [`Graph`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -476,14 +484,13 @@ impl Graph {
                 vec![(*a, da)]
             }
             Op::GatherRows(a, indices) => {
+                // Scatter-add via the kernel layer: destination rows are
+                // partitioned across the shared pool, so large embedding
+                // tables accumulate their gradients in parallel with the
+                // same per-row order (and bytes) as the serial loop.
                 let (r, c) = self.shape(*a);
                 let mut da = Matrix::zeros(r, c);
-                for (o, &idx) in indices.iter().enumerate() {
-                    let dst = da.row_mut(idx as usize);
-                    for (d, s) in dst.iter_mut().zip(g.row(o)) {
-                        *d += s;
-                    }
-                }
+                kernels::scatter_add_rows(&mut da, indices, g);
                 vec![(*a, da)]
             }
             Op::AddRowBroadcast(a, row) => vec![(*a, g.clone()), (*row, g.col_sums())],

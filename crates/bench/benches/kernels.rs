@@ -1,0 +1,199 @@
+//! Kernel-layer benchmarks: serial reference vs. tiled vs. parallel at
+//! multiple thread counts, with a machine-readable summary.
+//!
+//! Unlike the criterion benches this is a custom harness: it times each
+//! (op, variant, threads) cell directly and writes
+//! `results/bench_kernels.json` — one record per cell with
+//! `{op, shape, variant, threads, ns_per_iter, speedup_vs_serial}` — so
+//! future PRs have a perf trajectory to compare against.
+//!
+//! Run with `cargo bench -p gnmr-bench --bench kernels`. Thread counts
+//! above the machine's available parallelism cannot speed anything up
+//! (the harness prints the machine's parallelism so readings from
+//! constrained CI containers are interpretable).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use gnmr::tensor::{init, kernels, par, rng, Csr};
+use gnmr_bench::output::results_dir;
+use rand::Rng;
+
+/// Thread counts every parallel variant is measured at.
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Target wall-clock per measurement cell.
+const TARGET_MS: u128 = 300;
+
+struct Record {
+    op: &'static str,
+    shape: String,
+    variant: String,
+    threads: usize,
+    ns_per_iter: u128,
+    speedup_vs_serial: f64,
+}
+
+/// Times `f`, returning ns/iter: a short warmup, then enough iterations
+/// to cover [`TARGET_MS`] (at least 5).
+fn time_ns(mut f: impl FnMut()) -> u128 {
+    for _ in 0..2 {
+        f();
+    }
+    let start = Instant::now();
+    let mut iters = 0u128;
+    while start.elapsed().as_millis() < TARGET_MS || iters < 5 {
+        f();
+        iters += 1;
+    }
+    start.elapsed().as_nanos() / iters.max(1)
+}
+
+/// Measures one op: the serial reference, then the `*_with` entry point
+/// at each thread count. `one_thread_label` names the threads==1 cell
+/// honestly — "tiled" only where a distinct tiled code path exists
+/// (dense matmul); elsewhere the one-thread cell re-runs the serial
+/// loop inline and is labeled "serial_1t".
+fn push_cells(
+    records: &mut Vec<Record>,
+    op: &'static str,
+    shape: String,
+    one_thread_label: &'static str,
+    serial: impl FnMut(),
+    mut parallel: impl FnMut(usize),
+) {
+    let serial_ns = time_ns(serial);
+    records.push(Record {
+        op,
+        shape: shape.clone(),
+        variant: "serial".into(),
+        threads: 1,
+        ns_per_iter: serial_ns,
+        speedup_vs_serial: 1.0,
+    });
+    for &threads in &THREAD_COUNTS {
+        let ns = time_ns(|| parallel(threads));
+        records.push(Record {
+            op,
+            shape: shape.clone(),
+            variant: if threads == 1 { one_thread_label.into() } else { format!("parallel{threads}") },
+            threads,
+            ns_per_iter: ns,
+            speedup_vs_serial: serial_ns as f64 / ns.max(1) as f64,
+        });
+    }
+}
+
+fn random_csr(rows: usize, cols: usize, nnz: usize, seed: u64) -> Csr {
+    let mut r = rng::seeded(seed);
+    let triplets: Vec<(u32, u32, f32)> = (0..nnz)
+        .map(|_| (r.gen_range(0..rows as u32), r.gen_range(0..cols as u32), r.gen_range(-1.0..1.0)))
+        .collect();
+    Csr::from_triplets(rows, cols, &triplets)
+}
+
+fn to_json(records: &[Record]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"op\": \"{}\", \"shape\": \"{}\", \"variant\": \"{}\", \"threads\": {}, \
+             \"ns_per_iter\": {}, \"speedup_vs_serial\": {:.3}}}{}\n",
+            r.op,
+            r.shape,
+            r.variant,
+            r.threads,
+            r.ns_per_iter,
+            r.speedup_vs_serial,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+fn main() {
+    let hw = par::hardware_threads();
+    println!("kernel benches — machine parallelism: {hw}");
+    if hw < 4 {
+        println!("note: fewer than 4 hardware threads; parallel cells cannot beat serial here");
+    }
+
+    let mut records: Vec<Record> = Vec::new();
+
+    // Dense matmul at the model's message-passing scale.
+    let (m, k, n) = (512usize, 128, 128);
+    let a = init::uniform(m, k, -1.0, 1.0, &mut rng::seeded(1));
+    let b = init::uniform(k, n, -1.0, 1.0, &mut rng::seeded(2));
+    push_cells(
+        &mut records,
+        "matmul",
+        format!("{m}x{k}x{n}"),
+        "tiled",
+        || {
+            black_box(kernels::matmul_serial(&a, &b));
+        },
+        |t| {
+            black_box(kernels::matmul_with(&a, &b, t));
+        },
+    );
+
+    // A^T * B as used by the matmul backward pass.
+    let at = init::uniform(1024, 96, -1.0, 1.0, &mut rng::seeded(3));
+    let bt = init::uniform(1024, 96, -1.0, 1.0, &mut rng::seeded(4));
+    push_cells(
+        &mut records,
+        "matmul_tn",
+        "1024x96^T*1024x96".into(),
+        "serial_1t",
+        || {
+            black_box(kernels::matmul_tn_serial(&at, &bt));
+        },
+        |t| {
+            black_box(kernels::matmul_tn_with(&at, &bt, t));
+        },
+    );
+
+    // SpMM over a graph-sized CSR (message passing forward).
+    let csr = random_csr(4000, 4000, 80_000, 5);
+    let dense = init::uniform(4000, 64, -1.0, 1.0, &mut rng::seeded(6));
+    push_cells(
+        &mut records,
+        "spmm",
+        format!("{}nnz*4000x64", csr.nnz()),
+        "serial_1t",
+        || {
+            black_box(kernels::spmm_serial(&csr, &dense));
+        },
+        |t| {
+            black_box(kernels::spmm_with(&csr, &dense, t));
+        },
+    );
+
+    // Transposed SpMM (message passing backward).
+    push_cells(
+        &mut records,
+        "spmm_t",
+        format!("{}nnz^T*4000x64", csr.nnz()),
+        "serial_1t",
+        || {
+            black_box(kernels::spmm_t_serial(&csr, &dense));
+        },
+        |t| {
+            black_box(kernels::spmm_t_with(&csr, &dense, t));
+        },
+    );
+
+    println!("\n{:<10} {:<22} {:<10} {:>8} {:>14} {:>9}", "op", "shape", "variant", "threads", "ns/iter", "speedup");
+    for r in &records {
+        println!(
+            "{:<10} {:<22} {:<10} {:>8} {:>14} {:>8.2}x",
+            r.op, r.shape, r.variant, r.threads, r.ns_per_iter, r.speedup_vs_serial
+        );
+    }
+
+    let path = results_dir().join("bench_kernels.json");
+    match std::fs::write(&path, to_json(&records)) {
+        Ok(()) => println!("\n[saved {}]", path.display()),
+        Err(e) => eprintln!("warning: failed to write {}: {e}", path.display()),
+    }
+}

@@ -10,8 +10,12 @@ use gnmr::prelude::*;
 
 use crate::registry::{self, Budget, TABLE2_MODELS, TABLE3_MODELS};
 
-/// Evaluation threads for the harness.
-const THREADS: usize = 4;
+/// Evaluation threads for the harness, resolved from the shared
+/// thread-count config (`GNMR_THREADS`, a programmatic override, or the
+/// machine's parallelism) so one knob governs the repro binaries too.
+fn threads() -> usize {
+    gnmr::tensor::par::num_threads()
+}
 
 /// Table I: statistics of the three datasets.
 pub fn table1(seed: u64) -> String {
@@ -52,7 +56,7 @@ pub fn table2_and_table3(seed: u64, budget: &Budget) -> (String, String) {
         for (mi, name) in TABLE2_MODELS.iter().enumerate() {
             let start = std::time::Instant::now();
             let model = registry::train(name, data, budget);
-            let report = evaluate_parallel(model.as_ref(), &data.test, &ns_sweep, THREADS);
+            let report = evaluate_parallel(model.as_ref(), &data.test, &ns_sweep, threads());
             eprintln!(
                 "[table2]   {name:8} {}: HR@10 {:.3} NDCG@10 {:.3} ({:.1?})",
                 data.name,
@@ -101,7 +105,7 @@ pub fn fig2(seed: u64, budget: &Budget) -> String {
         for (vi, variant) in variants.iter().enumerate() {
             let cfg = GnmrConfig { variant: *variant, ..budget.gnmr_model };
             let model = registry::train_gnmr(data, cfg, &budget.gnmr_train);
-            let r = evaluate_parallel(&model, &data.test, &[10], THREADS);
+            let r = evaluate_parallel(&model, &data.test, &[10], threads());
             eprintln!("[fig2] {} {}: HR {:.3}", data.name, variant.label(), r.hr_at(10));
             rows[vi].push(fmt_metric(r.hr_at(10)));
             rows[vi].push(fmt_metric(r.ndcg_at(10)));
@@ -142,7 +146,7 @@ pub fn table4(seed: u64, budget: &Budget) -> String {
             let prop_graph = data.graph.subset_for_propagation(&keep_refs);
             let mut model = Gnmr::new(&prop_graph, budget.gnmr_model);
             model.fit_with_labels(&data.graph, &budget.gnmr_train);
-            let r = evaluate_parallel(&model, &data.test, &[10], THREADS);
+            let r = evaluate_parallel(&model, &data.test, &[10], threads());
             eprintln!("[table4] {} {label}: HR {:.3}", data.name, r.hr_at(10));
             t.row(&[label.clone(), fmt_metric(r.hr_at(10)), fmt_metric(r.ndcg_at(10))]);
         }
@@ -163,7 +167,7 @@ pub fn fig3(seed: u64, budget: &Budget) -> String {
         for layers in 0..=3usize {
             let cfg = GnmrConfig { layers, ..budget.gnmr_model };
             let model = registry::train_gnmr(data, cfg, &budget.gnmr_train);
-            let r = evaluate_parallel(&model, &data.test, &[10], THREADS);
+            let r = evaluate_parallel(&model, &data.test, &[10], threads());
             eprintln!("[fig3] {} L={layers}: HR {:.3}", data.name, r.hr_at(10));
             hr.push(r.hr_at(10));
             ndcg.push(r.ndcg_at(10));

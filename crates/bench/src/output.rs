@@ -3,10 +3,27 @@
 use std::io::Write;
 use std::path::PathBuf;
 
-/// Locates the workspace `results/` directory (next to the top-level
-/// `Cargo.toml`), falling back to the current directory.
+/// Locates the workspace `results/` directory, falling back to the
+/// current directory.
+///
+/// Prefers the directory holding the workspace `Cargo.lock` (benches
+/// run with the *member* crate as cwd, and member `Cargo.toml`s must
+/// not capture the archive), then the nearest `results/` dir or
+/// `Cargo.toml`.
 pub fn results_dir() -> PathBuf {
-    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let start = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = start.clone();
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            let r = dir.join("results");
+            let _ = std::fs::create_dir_all(&r);
+            return r;
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    let mut dir = start;
     loop {
         if dir.join("results").is_dir() || dir.join("Cargo.toml").is_file() {
             let r = dir.join("results");

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use gnmr_autograd::{Ctx, ParamStore, Var};
 use gnmr_eval::Recommender;
 use gnmr_graph::MultiBehaviorGraph;
-use gnmr_tensor::{init, rng, Csr, Matrix};
+use gnmr_tensor::{init, kernels, rng, Csr, Matrix};
 
 use crate::config::GnmrConfig;
 use crate::{attention, fusion, pretrain, type_embedding};
@@ -142,6 +142,11 @@ impl Gnmr {
     /// per-order user and item embeddings `H^(0) ... H^(L)`. Exposed for
     /// research extensions and the benchmark harness; most users want
     /// [`Gnmr::fit`] / [`Gnmr::recommend`].
+    ///
+    /// The propagation (SpMM message passing, attention projections) and
+    /// its backward pass run on `gnmr_tensor`'s parallel kernels; the
+    /// thread count is governed by the shared `GNMR_THREADS` config and
+    /// results are identical at every thread count.
     pub fn forward(&self, ctx: &mut Ctx<'_>) -> (Vec<Var>, Vec<Var>) {
         let mut users = ctx.param("emb.user");
         let mut items = ctx.param("emb.item");
@@ -199,15 +204,18 @@ impl Gnmr {
     /// Top-`k` recommendations for a user, excluding `exclude` (typically
     /// the user's training interactions). Returns `(item, score)` sorted
     /// by descending score.
+    ///
+    /// Scores the full catalog through the shared kernel layer, so the
+    /// item sweep is partitioned across the worker pool for large
+    /// catalogs.
     pub fn recommend(&self, user: u32, k: usize, exclude: &[u32]) -> Vec<(u32, f32)> {
         let (urepr, vrepr) = self.reprs();
-        let urow = urepr.row(user as usize);
-        let mut scored: Vec<(u32, f32)> = (0..self.n_items as u32)
-            .filter(|i| !exclude.contains(i))
-            .map(|i| {
-                let s: f32 = urow.iter().zip(vrepr.row(i as usize)).map(|(a, b)| a * b).sum();
-                (i, s)
-            })
+        let scores = kernels::row_dots(vrepr, urepr.row(user as usize));
+        let mut scored: Vec<(u32, f32)> = scores
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s))
+            .filter(|(i, _)| !exclude.contains(i))
             .collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         scored.truncate(k);

@@ -11,6 +11,6 @@ pub mod reference;
 pub mod table;
 
 pub use metrics::{hr_at, ndcg_at, rank_of_positive};
-pub use protocol::{evaluate, evaluate_parallel, EvalReport, Recommender};
+pub use protocol::{evaluate, evaluate_auto, evaluate_parallel, EvalReport, Recommender};
 pub use reference::{PopularityRecommender, RandomRecommender};
 pub use table::Table;

@@ -1,6 +1,7 @@
 //! The evaluation protocol: score candidates, rank, aggregate metrics.
 
 use gnmr_data::EvalInstance;
+use gnmr_tensor::par;
 
 use crate::metrics::{hr_at, ndcg_at, rank_of_positive, reciprocal_rank};
 
@@ -85,7 +86,9 @@ pub fn evaluate<R: Recommender + ?Sized>(model: &R, test: &[EvalInstance], ns: &
 
 /// Parallel variant of [`evaluate`] for `Sync` models; results are
 /// identical to the sequential version (per-instance metrics are
-/// independent).
+/// independent). Instances are partitioned across the shared
+/// `gnmr_tensor::par` worker pool — the same substrate the tensor
+/// kernels run on, so one knob governs the whole binary.
 pub fn evaluate_parallel<R>(model: &R, test: &[EvalInstance], ns: &[usize], threads: usize) -> EvalReport
 where
     R: Recommender + Sync + ?Sized,
@@ -94,20 +97,26 @@ where
     if threads <= 1 || test.len() < 64 {
         return evaluate(model, test, ns);
     }
-    let chunk = test.len().div_ceil(threads);
     let mut ranks = vec![0usize; test.len()];
-    std::thread::scope(|scope| {
-        for (slot, insts) in ranks.chunks_mut(chunk).zip(test.chunks(chunk)) {
-            scope.spawn(move || {
-                for (out, inst) in slot.iter_mut().zip(insts) {
-                    let candidates = inst.candidates();
-                    let scores = model.score(inst.user, &candidates);
-                    *out = rank_of_positive(&scores);
-                }
-            });
+    par::for_each_row_chunk(&mut ranks, test.len(), threads, |range, slot| {
+        for (out, inst) in slot.iter_mut().zip(&test[range]) {
+            let candidates = inst.candidates();
+            let scores = model.score(inst.user, &candidates);
+            assert_eq!(scores.len(), candidates.len(), "Recommender returned wrong score count");
+            *out = rank_of_positive(&scores);
         }
     });
     accumulate(&ranks, ns, test.len())
+}
+
+/// [`evaluate_parallel`] with the thread count resolved from the shared
+/// config ([`par::num_threads`]): the `GNMR_THREADS` env var, a
+/// [`par::set_threads`] override, or the machine's parallelism.
+pub fn evaluate_auto<R>(model: &R, test: &[EvalInstance], ns: &[usize]) -> EvalReport
+where
+    R: Recommender + Sync + ?Sized,
+{
+    evaluate_parallel(model, test, ns, par::num_threads())
 }
 
 #[cfg(test)]
@@ -164,8 +173,11 @@ mod tests {
     fn parallel_matches_sequential() {
         let test = instances(200);
         let seq = evaluate(&Oracle, &test, &[1, 3, 10]);
-        let par = evaluate_parallel(&Oracle, &test, &[1, 3, 10], 4);
-        assert_eq!(seq, par);
+        for threads in [1, 2, 4, 7] {
+            let par = evaluate_parallel(&Oracle, &test, &[1, 3, 10], threads);
+            assert_eq!(seq, par, "threads={threads}");
+        }
+        assert_eq!(seq, evaluate_auto(&Oracle, &test, &[1, 3, 10]));
     }
 
     #[test]

@@ -41,9 +41,10 @@ pub mod prelude {
     pub use gnmr_core::{Gnmr, GnmrConfig, GnmrVariant, TrainConfig, TrainReport};
     pub use gnmr_data::{Dataset, EvalInstance};
     pub use gnmr_eval::{
-        evaluate, evaluate_parallel, EvalReport, PopularityRecommender, RandomRecommender,
-        Recommender, Table,
+        evaluate, evaluate_auto, evaluate_parallel, EvalReport, PopularityRecommender,
+        RandomRecommender, Recommender, Table,
     };
+    pub use gnmr_tensor::par;
     pub use gnmr_graph::{
         BatchSampler, GraphStats, Interaction, InteractionLog, MultiBehaviorGraph, NeighborNorm,
         NegativeSampler,

@@ -1,8 +1,15 @@
 //! Dense row-major `f32` matrices and the kernels the autodiff layer
 //! builds on.
+//!
+//! The hot products (`matmul`, `matmul_tn`, `matmul_nt`) and the
+//! gradient-accumulation primitive (`add_assign`) delegate to
+//! [`crate::kernels`], which tiles and parallelizes large shapes under
+//! the shared [`crate::par`] thread-count config.
 
 use std::fmt;
 use std::ops::{Index, IndexMut};
+
+use crate::kernels;
 
 /// A dense row-major matrix of `f32`.
 ///
@@ -219,12 +226,10 @@ impl Matrix {
         Matrix { rows: self.rows, cols: self.cols, data }
     }
 
-    /// In-place `self += other`.
+    /// In-place `self += other` (parallel for large matrices — this is
+    /// the autodiff tape's gradient-accumulation primitive).
     pub fn add_assign(&mut self, other: &Matrix) {
-        self.assert_same_shape(other, "add_assign");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        kernels::add_assign(self, other);
     }
 
     /// In-place `self += s * other` (axpy).
@@ -264,78 +269,21 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
-    /// Cache-friendly i-k-j loop with zero-skipping (helpful for the
-    /// sparse-ish gated matrices GNMR produces).
+    /// Delegates to the kernel layer: tiled and row-parallel for large
+    /// shapes, a plain i-k-j loop for small ones; results are bitwise
+    /// identical at every thread count.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul: inner dimensions differ ({}x{} * {}x{})",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        let n = other.cols;
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            let orow = &mut out.data[i * n..(i + 1) * n];
-            for (k, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[k * n..(k + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        kernels::matmul(self, other)
     }
 
     /// `self^T * other` without materializing the transpose.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.rows, other.rows,
-            "matmul_tn: row counts differ ({}x{} vs {}x{})",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        let n = other.cols;
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            let brow = other.row(i);
-            for (k, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[k * n..(k + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        kernels::matmul_tn(self, other)
     }
 
     /// `self * other^T` without materializing the transpose.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.cols,
-            "matmul_nt: column counts differ ({}x{} vs {}x{})",
-            self.rows, self.cols, other.rows, other.cols
-        );
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            let orow = out.row_mut(i);
-            for (j, o) in orow.iter_mut().enumerate() {
-                let brow = other.row(j);
-                let mut acc = 0.0;
-                for (a, b) in arow.iter().zip(brow) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
-        }
-        out
+        kernels::matmul_nt(self, other)
     }
 
     /// The transpose.

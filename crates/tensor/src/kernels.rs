@@ -1,0 +1,584 @@
+//! The kernel layer: tiled, thread-parallel implementations of the
+//! workspace's hot linear-algebra loops, plus the serial references they
+//! are tested against.
+//!
+//! [`Matrix`](crate::Matrix) and [`Csr`](crate::Csr) delegate their
+//! public ops here, so this module is the single landing zone for future
+//! SIMD / backend work. Each kernel has three entry points:
+//!
+//! * `*_serial` — the plain reference loop (also the small-shape path);
+//! * `*_with` — explicit thread count (used by the equivalence tests
+//!   and benches);
+//! * the bare name — resolves the thread count from [`crate::par`] and
+//!   falls back to the serial path below [`PAR_MIN_WORK`].
+//!
+//! # Determinism
+//!
+//! Every parallel kernel partitions *output rows* across workers and
+//! accumulates into each output element in exactly the serial order
+//! (increasing inner index). Results are therefore bitwise identical to
+//! the serial reference at every thread count.
+
+use std::ops::Range;
+
+use crate::dense::Matrix;
+use crate::par;
+use crate::sparse::Csr;
+
+/// Work threshold (in multiply-add units) below which kernels stay on
+/// the serial path: scoped-thread spawning costs on the order of tens
+/// of microseconds, so only kernels with enough arithmetic to amortize
+/// it go parallel.
+pub const PAR_MIN_WORK: usize = 64 * 1024;
+
+/// Column-block width of the tiled dense matmul: one output block row
+/// (`TILE_J` f32s) stays resident while a `TILE_K x TILE_J` panel of the
+/// right-hand side stays cache-hot. Wide enough that the common model
+/// widths (16–256 columns) take a single block — the i-k-j loop is
+/// already streaming-friendly there and splitting would only re-read
+/// the left-hand rows.
+const TILE_J: usize = 512;
+
+/// Inner-dimension block depth of the tiled dense matmul
+/// (`TILE_K * TILE_J` f32s of the right-hand side per panel: 128 KiB).
+const TILE_K: usize = 64;
+
+/// Resolves the thread count for a kernel invocation: serial below
+/// [`PAR_MIN_WORK`], otherwise the shared [`par::num_threads`] config.
+#[inline]
+fn auto_threads(work: usize) -> usize {
+    if work < PAR_MIN_WORK {
+        1
+    } else {
+        par::num_threads()
+    }
+}
+
+// ----- dense matmul ---------------------------------------------------
+
+fn assert_matmul(a: &Matrix, b: &Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dimensions differ ({}x{} * {}x{})",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+}
+
+/// Serial reference `a * b` (plain i-k-j loop).
+///
+/// Deliberately branch-free in the inner loop — the old zero-skipping
+/// heuristic defeated auto-vectorization on dense inputs; sparsity is
+/// handled by the sparse kernels where it belongs.
+pub fn matmul_serial(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_matmul(a, b);
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    matmul_rows_serial(a.data(), k, b.data(), n, 0..m, out.data_mut());
+    out
+}
+
+/// `a * b` on an explicit number of threads (tiled when parallel or
+/// large).
+pub fn matmul_with(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    assert_matmul(a, b);
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    let (ad, bd) = (a.data(), b.data());
+    if threads <= 1 {
+        if m * k * n < PAR_MIN_WORK {
+            matmul_rows_serial(ad, k, bd, n, 0..m, out.data_mut());
+        } else {
+            matmul_rows_tiled(ad, k, bd, n, 0..m, out.data_mut());
+        }
+    } else {
+        par::for_each_row_chunk(out.data_mut(), m, threads, |rows, chunk| {
+            matmul_rows_tiled(ad, k, bd, n, rows, chunk);
+        });
+    }
+    out
+}
+
+/// `a * b` with the shared thread-count config (serial for small
+/// shapes).
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_matmul(a, b);
+    matmul_with(a, b, auto_threads(a.rows() * a.cols() * b.cols()))
+}
+
+/// Computes output rows `rows` of `a (m x k) * b (k x n)` into the
+/// row-aligned chunk `out` (`rows.len() x n`).
+fn matmul_rows_serial(a: &[f32], k: usize, b: &[f32], n: usize, rows: Range<usize>, out: &mut [f32]) {
+    for (local, i) in rows.enumerate() {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[local * n..(local + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Cache-blocked variant of [`matmul_rows_serial`]: identical
+/// accumulation order per output element (k-blocks advance in k order),
+/// so results are bitwise equal to the serial reference.
+fn matmul_rows_tiled(a: &[f32], k: usize, b: &[f32], n: usize, rows: Range<usize>, out: &mut [f32]) {
+    let mut k0 = 0;
+    while k0 < k {
+        let k1 = (k0 + TILE_K).min(k);
+        let mut j0 = 0;
+        while j0 < n {
+            let j1 = (j0 + TILE_J).min(n);
+            for (local, i) in rows.clone().enumerate() {
+                let arow = &a[i * k + k0..i * k + k1];
+                let orow = &mut out[local * n + j0..local * n + j1];
+                for (kk, &av) in arow.iter().enumerate() {
+                    let brow = &b[(k0 + kk) * n + j0..(k0 + kk) * n + j1];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
+                }
+            }
+            j0 = j1;
+        }
+        k0 = k1;
+    }
+}
+
+// ----- dense matmul, transposed variants ------------------------------
+
+fn assert_matmul_tn(a: &Matrix, b: &Matrix) {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_tn: row counts differ ({}x{} vs {}x{})",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+}
+
+/// Serial reference `a^T * b` without materializing the transpose.
+pub fn matmul_tn_serial(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_matmul_tn(a, b);
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    matmul_tn_rows(a.data(), a.rows(), a.cols(), b.data(), b.cols(), 0..a.cols(), out.data_mut());
+    out
+}
+
+/// `a^T * b` on an explicit number of threads (output rows — columns of
+/// `a` — are partitioned across workers).
+pub fn matmul_tn_with(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    assert_matmul_tn(a, b);
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(k, n);
+    let (ad, bd) = (a.data(), b.data());
+    par::for_each_row_chunk(out.data_mut(), k, threads, |krows, chunk| {
+        matmul_tn_rows(ad, m, k, bd, n, krows, chunk);
+    });
+    out
+}
+
+/// `a^T * b` with the shared thread-count config.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_matmul_tn(a, b);
+    matmul_tn_with(a, b, auto_threads(a.rows() * a.cols() * b.cols()))
+}
+
+/// Computes output rows `krows` (columns of `a`) of `a^T (k x m) *
+/// b (m x n)` into the chunk `out`. Per output element the accumulation
+/// runs over `i` in increasing order, matching the serial reference.
+fn matmul_tn_rows(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    krows: Range<usize>,
+    out: &mut [f32],
+) {
+    for i in 0..m {
+        let arow = &a[i * k + krows.start..i * k + krows.end];
+        let brow = &b[i * n..(i + 1) * n];
+        for (local, &av) in arow.iter().enumerate() {
+            let orow = &mut out[local * n..(local + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+fn assert_matmul_nt(a: &Matrix, b: &Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_nt: column counts differ ({}x{} vs {}x{})",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+}
+
+/// Serial reference `a * b^T` without materializing the transpose.
+pub fn matmul_nt_serial(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_matmul_nt(a, b);
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    matmul_nt_rows(a.data(), a.cols(), b.data(), b.rows(), 0..a.rows(), out.data_mut());
+    out
+}
+
+/// `a * b^T` on an explicit number of threads.
+pub fn matmul_nt_with(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    assert_matmul_nt(a, b);
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    let (ad, bd) = (a.data(), b.data());
+    let (k, p) = (a.cols(), b.rows());
+    par::for_each_row_chunk(out.data_mut(), a.rows(), threads, |rows, chunk| {
+        matmul_nt_rows(ad, k, bd, p, rows, chunk);
+    });
+    out
+}
+
+/// `a * b^T` with the shared thread-count config.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_matmul_nt(a, b);
+    matmul_nt_with(a, b, auto_threads(a.rows() * a.cols() * b.rows()))
+}
+
+fn matmul_nt_rows(a: &[f32], k: usize, b: &[f32], p: usize, rows: Range<usize>, out: &mut [f32]) {
+    for (local, i) in rows.enumerate() {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[local * p..(local + 1) * p];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+}
+
+// ----- sparse matmul --------------------------------------------------
+
+fn assert_spmm(csr: &Csr, dense: &Matrix) {
+    assert_eq!(
+        csr.cols(),
+        dense.rows(),
+        "spmm: inner dimensions differ ({}x{} * {}x{})",
+        csr.rows(),
+        csr.cols(),
+        dense.rows(),
+        dense.cols()
+    );
+}
+
+/// Serial reference sparse x dense product.
+pub fn spmm_serial(csr: &Csr, dense: &Matrix) -> Matrix {
+    assert_spmm(csr, dense);
+    let mut out = Matrix::zeros(csr.rows(), dense.cols());
+    spmm_rows(csr, dense.data(), dense.cols(), 0..csr.rows(), out.data_mut());
+    out
+}
+
+/// Sparse x dense product on an explicit number of threads (output rows
+/// are partitioned; each CSR row is consumed by exactly one worker).
+pub fn spmm_with(csr: &Csr, dense: &Matrix, threads: usize) -> Matrix {
+    assert_spmm(csr, dense);
+    let d = dense.cols();
+    let mut out = Matrix::zeros(csr.rows(), d);
+    let dd = dense.data();
+    par::for_each_row_chunk(out.data_mut(), csr.rows(), threads, |rows, chunk| {
+        spmm_rows(csr, dd, d, rows, chunk);
+    });
+    out
+}
+
+/// Sparse x dense product with the shared thread-count config.
+pub fn spmm(csr: &Csr, dense: &Matrix) -> Matrix {
+    assert_spmm(csr, dense);
+    spmm_with(csr, dense, auto_threads(csr.nnz() * dense.cols()))
+}
+
+fn spmm_rows(csr: &Csr, dense: &[f32], d: usize, rows: Range<usize>, out: &mut [f32]) {
+    for (local, r) in rows.enumerate() {
+        let (cols, vals) = csr.row(r);
+        let orow = &mut out[local * d..(local + 1) * d];
+        for (&c, &v) in cols.iter().zip(vals) {
+            let drow = &dense[c as usize * d..(c as usize + 1) * d];
+            for (o, &x) in orow.iter_mut().zip(drow) {
+                *o += v * x;
+            }
+        }
+    }
+}
+
+fn assert_spmm_t(csr: &Csr, dense: &Matrix) {
+    assert_eq!(
+        csr.rows(),
+        dense.rows(),
+        "spmm_t: row counts differ ({}x{} vs {}x{})",
+        csr.rows(),
+        csr.cols(),
+        dense.rows(),
+        dense.cols()
+    );
+}
+
+/// Serial reference transposed sparse x dense product (`csr^T * dense`).
+pub fn spmm_t_serial(csr: &Csr, dense: &Matrix) -> Matrix {
+    assert_spmm_t(csr, dense);
+    let mut out = Matrix::zeros(csr.cols(), dense.cols());
+    spmm_t_cols(csr, dense.data(), dense.cols(), 0..csr.cols(), out.data_mut());
+    out
+}
+
+/// `csr^T * dense` on an explicit number of threads.
+///
+/// Output rows correspond to CSR *columns*; each worker owns a column
+/// range and, relying on CSR rows being column-sorted, binary-searches
+/// every row for the entries that scatter into its range. Writes are
+/// disjoint, so no reduction pass is needed and the accumulation order
+/// per output row matches the serial scatter exactly.
+pub fn spmm_t_with(csr: &Csr, dense: &Matrix, threads: usize) -> Matrix {
+    assert_spmm_t(csr, dense);
+    let d = dense.cols();
+    let mut out = Matrix::zeros(csr.cols(), d);
+    let dd = dense.data();
+    par::for_each_row_chunk(out.data_mut(), csr.cols(), threads, |crange, chunk| {
+        spmm_t_cols(csr, dd, d, crange, chunk);
+    });
+    out
+}
+
+/// `csr^T * dense` with the shared thread-count config.
+pub fn spmm_t(csr: &Csr, dense: &Matrix) -> Matrix {
+    assert_spmm_t(csr, dense);
+    spmm_t_with(csr, dense, auto_threads(csr.nnz() * dense.cols()))
+}
+
+fn spmm_t_cols(csr: &Csr, dense: &[f32], d: usize, crange: Range<usize>, out: &mut [f32]) {
+    for r in 0..csr.rows() {
+        let (cols, vals) = csr.row(r);
+        let lo = cols.partition_point(|&c| (c as usize) < crange.start);
+        let hi = cols.partition_point(|&c| (c as usize) < crange.end);
+        if lo == hi {
+            continue;
+        }
+        let drow = &dense[r * d..(r + 1) * d];
+        for (&c, &v) in cols[lo..hi].iter().zip(&vals[lo..hi]) {
+            let orow = &mut out[(c as usize - crange.start) * d..][..d];
+            for (o, &x) in orow.iter_mut().zip(drow) {
+                *o += v * x;
+            }
+        }
+    }
+}
+
+// ----- elementwise / gradient accumulation ----------------------------
+
+/// In-place `dst += src` on an explicit number of threads.
+pub fn add_assign_with(dst: &mut Matrix, src: &Matrix, threads: usize) {
+    assert_eq!(
+        dst.shape(),
+        src.shape(),
+        "add_assign: shape mismatch {}x{} vs {}x{}",
+        dst.rows(),
+        dst.cols(),
+        src.rows(),
+        src.cols()
+    );
+    let n = dst.len();
+    let sd = src.data();
+    par::for_each_row_chunk(dst.data_mut(), n, threads, |range, chunk| {
+        for (o, &s) in chunk.iter_mut().zip(&sd[range]) {
+            *o += s;
+        }
+    });
+}
+
+/// In-place `dst += src` with the shared thread-count config. This is
+/// the gradient-accumulation primitive of the autodiff tape.
+pub fn add_assign(dst: &mut Matrix, src: &Matrix) {
+    let work = dst.len();
+    add_assign_with(dst, src, auto_threads(work));
+}
+
+/// Scatter-add: `dst.row(indices[o]) += src.row(o)` for every `o`, on
+/// an explicit number of threads.
+///
+/// Workers own disjoint destination row ranges and each scans the index
+/// list for rows in its range, so duplicate indices accumulate in the
+/// serial order with no write races (this is the backward pass of
+/// `gather_rows`).
+///
+/// # Panics
+/// If shapes disagree or any index is out of bounds.
+pub fn scatter_add_rows_with(dst: &mut Matrix, indices: &[u32], src: &Matrix, threads: usize) {
+    assert_eq!(src.rows(), indices.len(), "scatter_add_rows: index count mismatch");
+    assert_eq!(src.cols(), dst.cols(), "scatter_add_rows: column count mismatch");
+    let rows = dst.rows();
+    for &idx in indices {
+        assert!((idx as usize) < rows, "scatter_add_rows: index {idx} out of bounds for {rows} rows");
+    }
+    let d = dst.cols();
+    let sd = src.data();
+    par::for_each_row_chunk(dst.data_mut(), rows, threads, |range, chunk| {
+        for (o, &idx) in indices.iter().enumerate() {
+            let idx = idx as usize;
+            if idx < range.start || idx >= range.end {
+                continue;
+            }
+            let orow = &mut chunk[(idx - range.start) * d..][..d];
+            let srow = &sd[o * d..(o + 1) * d];
+            for (x, &s) in orow.iter_mut().zip(srow) {
+                *x += s;
+            }
+        }
+    });
+}
+
+/// Scatter-add with the shared thread-count config.
+pub fn scatter_add_rows(dst: &mut Matrix, indices: &[u32], src: &Matrix) {
+    let work = indices.len() * dst.cols();
+    scatter_add_rows_with(dst, indices, src, auto_threads(work));
+}
+
+/// Dot product of every row of `mat` against `vec`, on an explicit
+/// number of threads. This is the full-catalog scoring primitive.
+pub fn row_dots_with(mat: &Matrix, vec: &[f32], threads: usize) -> Vec<f32> {
+    assert_eq!(mat.cols(), vec.len(), "row_dots: vector length {} != {} cols", vec.len(), mat.cols());
+    let d = mat.cols();
+    let md = mat.data();
+    let mut out = vec![0.0f32; mat.rows()];
+    par::for_each_row_chunk(&mut out, mat.rows(), threads, |range, chunk| {
+        for (o, r) in chunk.iter_mut().zip(range) {
+            let mut acc = 0.0;
+            for (&a, &b) in md[r * d..(r + 1) * d].iter().zip(vec) {
+                acc += a * b;
+            }
+            *o = acc;
+        }
+    });
+    out
+}
+
+/// Row dots with the shared thread-count config.
+pub fn row_dots(mat: &Matrix, vec: &[f32]) -> Vec<f32> {
+    row_dots_with(mat, vec, auto_threads(mat.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: usize, cols: usize, seed: f32) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| ((r * 31 + c * 7) as f32 * 0.13 + seed).sin())
+    }
+
+    #[test]
+    fn matmul_variants_agree_bitwise() {
+        let a = mat(9, 17, 0.1);
+        let b = mat(17, 23, 0.7);
+        let reference = matmul_serial(&a, &b);
+        for threads in [1, 2, 3, 4] {
+            let got = matmul_with(&a, &b, threads);
+            assert_eq!(got.data(), reference.data(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn tiled_path_covers_multiple_blocks() {
+        // Shapes straddling the tile sizes so the blocked loops execute
+        // partial edge tiles.
+        let a = mat(5, TILE_K + 3, 0.2);
+        let b = mat(TILE_K + 3, TILE_J + 5, 0.4);
+        let reference = matmul_serial(&a, &b);
+        let got = matmul_with(&a, &b, 2);
+        assert_eq!(got.data(), reference.data());
+    }
+
+    #[test]
+    fn tn_and_nt_match_explicit_transpose() {
+        let a = mat(8, 6, 0.3);
+        let b = mat(8, 5, 0.9);
+        let tn = matmul_tn_with(&a, &b, 3);
+        assert!(tn.approx_eq(&a.transpose().matmul(&b), 1e-5));
+        let c = mat(10, 6, 0.5);
+        let nt = matmul_nt_with(&a, &c, 3);
+        assert!(nt.approx_eq(&a.matmul(&c.transpose()), 1e-5));
+    }
+
+    #[test]
+    fn spmm_partition_is_exact() {
+        let csr = Csr::from_triplets(
+            6,
+            5,
+            &[(0, 1, 1.0), (0, 4, -2.0), (2, 0, 3.0), (2, 1, 0.5), (5, 4, 1.5), (5, 0, -1.0)],
+        );
+        let x = mat(5, 7, 0.6);
+        let reference = spmm_serial(&csr, &x);
+        for threads in [1, 2, 4] {
+            assert_eq!(spmm_with(&csr, &x, threads).data(), reference.data());
+        }
+        let xt = mat(6, 7, 0.8);
+        let reference_t = spmm_t_serial(&csr, &xt);
+        for threads in [1, 2, 4] {
+            assert_eq!(spmm_t_with(&csr, &xt, threads).data(), reference_t.data());
+        }
+    }
+
+    #[test]
+    fn scatter_add_duplicates_accumulate() {
+        let mut dst = Matrix::zeros(4, 2);
+        let src = mat(3, 2, 0.0);
+        scatter_add_rows_with(&mut dst, &[1, 1, 3], &src, 4);
+        let mut expected = Matrix::zeros(4, 2);
+        for (o, &idx) in [1u32, 1, 3].iter().enumerate() {
+            for c in 0..2 {
+                expected[(idx as usize, c)] += src.get(o, c);
+            }
+        }
+        assert!(dst.approx_eq(&expected, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn scatter_add_rejects_bad_index() {
+        let mut dst = Matrix::zeros(2, 2);
+        let src = Matrix::ones(1, 2);
+        scatter_add_rows(&mut dst, &[5], &src);
+    }
+
+    #[test]
+    fn row_dots_matches_manual() {
+        let m = mat(12, 5, 0.4);
+        let v: Vec<f32> = (0..5).map(|i| i as f32 * 0.2 - 0.3).collect();
+        let got = row_dots_with(&m, &v, 3);
+        for (r, &g) in got.iter().enumerate() {
+            let expect: f32 = m.row(r).iter().zip(&v).map(|(a, b)| a * b).sum();
+            assert!((g - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_shapes_are_fine() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 4);
+        assert_eq!(matmul_with(&a, &b, 4).shape(), (0, 4));
+        let c = Matrix::zeros(3, 0);
+        assert_eq!(matmul_with(&b.transpose(), &c, 4).shape(), (4, 0));
+        let e = Csr::empty(0, 0);
+        assert_eq!(spmm_with(&e, &Matrix::zeros(0, 2), 4).shape(), (0, 2));
+        assert_eq!(spmm_t_with(&e, &Matrix::zeros(0, 2), 4).shape(), (0, 2));
+    }
+}

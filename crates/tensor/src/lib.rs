@@ -13,9 +13,15 @@
 //!   *data-dependent* operations return `Result`.
 //! * Every randomized routine takes an explicit RNG; the workspace-wide
 //!   determinism contract is "same seed, same bytes".
+//! * Hot kernels run on the shared scoped-thread pool in [`par`]; the
+//!   thread count is governed by one knob (`GNMR_THREADS` /
+//!   [`par::set_threads`]) and parallel results are bitwise identical
+//!   to the serial reference (see [`kernels`]).
 
 pub mod dense;
 pub mod init;
+pub mod kernels;
+pub mod par;
 pub mod rng;
 pub mod sparse;
 pub mod stats;

@@ -1,0 +1,218 @@
+//! The shared parallel execution substrate: a scoped worker pool with
+//! row-range partitioning, plus the workspace-wide thread-count config.
+//!
+//! Every hot loop in the workspace — dense/sparse kernels, autograd
+//! gradient accumulation, the evaluation protocol, the repro harness —
+//! routes through this module, so a single knob governs the whole
+//! binary. The thread count resolves, in order:
+//!
+//! 1. a programmatic override set with [`set_threads`];
+//! 2. the `GNMR_THREADS` environment variable (positive integer);
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Workers are `std::thread::scope` threads spawned per call (std-only,
+//! no vendored deps); callers are expected to gate small workloads to a
+//! serial path so spawn overhead never dominates (see
+//! [`crate::kernels`]).
+//!
+//! # Determinism
+//!
+//! [`for_each_row_chunk`] hands each worker a *disjoint, row-aligned*
+//! slice of the output, so there are no write races and no reduction
+//! step: any partition of the rows yields the same result as the serial
+//! loop, bit for bit, as long as the per-row computation is itself
+//! deterministic. All kernels in this crate are written that way, which
+//! preserves the workspace "same seed, same bytes" contract at every
+//! thread count.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Programmatic thread-count override; 0 means "unset".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Name of the environment variable consulted by [`num_threads`].
+pub const ENV_VAR: &str = "GNMR_THREADS";
+
+/// Sets (or with `None` clears) the programmatic thread-count override.
+///
+/// Takes precedence over `GNMR_THREADS` and the hardware default.
+/// `Some(0)` is treated as `None`.
+pub fn set_threads(n: Option<usize>) {
+    OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The number of worker threads parallel kernels should use.
+///
+/// Resolution order: [`set_threads`] override, then `GNMR_THREADS`
+/// (ignored unless it parses to a positive integer), then
+/// [`std::thread::available_parallelism`]. Always at least 1.
+pub fn num_threads() -> usize {
+    let o = OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(s) = std::env::var(ENV_VAR) {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    hardware_threads()
+}
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Splits `0..rows` into at most `parts` contiguous, balanced ranges.
+///
+/// Earlier ranges are at most one row longer than later ones; fewer
+/// ranges are returned when `rows < parts`. `parts` is clamped to at
+/// least 1.
+pub fn partition(rows: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, rows.max(1));
+    let base = rows / parts;
+    let extra = rows % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for t in 0..parts {
+        let len = base + usize::from(t < extra);
+        if len == 0 && rows != 0 {
+            break;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Runs `f(row_range, out_chunk)` over a row-partitioned `data` buffer,
+/// in parallel on `threads` scoped workers.
+///
+/// `data` must be row-aligned: `data.len()` must be a multiple of
+/// `rows` (the common case is a row-major matrix buffer, where the
+/// implied row width is `data.len() / rows`). Each worker receives a
+/// disjoint `&mut` chunk covering exactly the rows in its range, so the
+/// closure needs no synchronization. With `threads <= 1` (or a single
+/// row) the closure runs inline on the calling thread — the serial path
+/// and the parallel path execute identical per-row code.
+///
+/// # Panics
+/// If `rows > 0` and `data.len()` is not a multiple of `rows`.
+pub fn for_each_row_chunk<T, F>(data: &mut [T], rows: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    assert!(
+        if rows == 0 { data.is_empty() } else { data.len().is_multiple_of(rows) },
+        "for_each_row_chunk: buffer length {} is not row-aligned for {rows} rows",
+        data.len()
+    );
+    let threads = threads.clamp(1, rows.max(1));
+    if threads <= 1 {
+        f(0..rows, data);
+        return;
+    }
+    let width = data.len() / rows;
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        for range in partition(rows, threads) {
+            let (chunk, tail) = rest.split_at_mut(range.len() * width);
+            rest = tail;
+            if range.end == rows {
+                // Run the final chunk on the calling thread; the scope
+                // joins the spawned workers on exit.
+                f(range, chunk);
+            } else {
+                scope.spawn(move || f(range, chunk));
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_balanced_and_covers() {
+        for rows in [0usize, 1, 2, 7, 64, 1000] {
+            for parts in [1usize, 2, 3, 4, 8] {
+                let ranges = partition(rows, parts);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "gap at {r:?}");
+                    next = r.end;
+                }
+                assert_eq!(next, rows, "rows={rows} parts={parts}");
+                if let (Some(first), Some(last)) = (ranges.first(), ranges.last()) {
+                    assert!(first.len() <= last.len() + 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_never_exceeds_rows() {
+        assert_eq!(partition(2, 8).len(), 2);
+        assert_eq!(partition(0, 4), vec![0..0]);
+    }
+
+    #[test]
+    fn for_each_row_chunk_touches_every_row_once() {
+        for threads in [1usize, 2, 3, 4, 9] {
+            let rows = 13;
+            let width = 3;
+            let mut data = vec![0u32; rows * width];
+            for_each_row_chunk(&mut data, rows, threads, |range, chunk| {
+                for (local, row) in range.enumerate() {
+                    for v in &mut chunk[local * width..(local + 1) * width] {
+                        *v += row as u32 + 1;
+                    }
+                }
+            });
+            for r in 0..rows {
+                assert!(data[r * width..(r + 1) * width].iter().all(|&v| v == r as u32 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_row_chunk_zero_rows_is_noop() {
+        let mut data: Vec<f32> = Vec::new();
+        for_each_row_chunk(&mut data, 0, 4, |range, chunk| {
+            assert!(range.is_empty());
+            assert!(chunk.is_empty());
+        });
+    }
+
+    #[test]
+    fn for_each_row_chunk_zero_width_rows() {
+        // cols == 0: every chunk is empty but every row range is visited.
+        let mut data: Vec<f32> = Vec::new();
+        let seen = std::sync::Mutex::new(vec![false; 5]);
+        for_each_row_chunk(&mut data, 5, 2, |range, _chunk| {
+            let mut seen = seen.lock().unwrap();
+            for r in range {
+                seen[r] = true;
+            }
+        });
+        assert!(seen.into_inner().unwrap().iter().all(|&b| b));
+    }
+
+    #[test]
+    fn override_wins_and_clears() {
+        // Serialized within this one test to avoid racing the global.
+        set_threads(Some(3));
+        assert_eq!(num_threads(), 3);
+        set_threads(Some(0));
+        assert!(num_threads() >= 1);
+        set_threads(None);
+        assert!(num_threads() >= 1);
+    }
+}

@@ -141,57 +141,20 @@ impl Csr {
     }
 
     /// Sparse x dense product: `self (r x c) * dense (c x d) -> r x d`.
+    ///
+    /// Delegates to the kernel layer, which partitions output rows
+    /// across the shared worker pool for large products.
     pub fn spmm(&self, dense: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols,
-            dense.rows(),
-            "spmm: inner dimensions differ ({}x{} * {}x{})",
-            self.rows,
-            self.cols,
-            dense.rows(),
-            dense.cols()
-        );
-        let d = dense.cols();
-        let mut out = Matrix::zeros(self.rows, d);
-        for r in 0..self.rows {
-            let (cols, vals) = self.row(r);
-            let orow = out.row_mut(r);
-            for (&c, &v) in cols.iter().zip(vals) {
-                let drow = dense.row(c as usize);
-                for (o, &x) in orow.iter_mut().zip(drow) {
-                    *o += v * x;
-                }
-            }
-        }
-        out
+        crate::kernels::spmm(self, dense)
     }
 
     /// Transposed sparse x dense product: `self^T (c x r) * dense (r x d)`.
     ///
     /// Used by SpMM backward passes; avoids materializing the transpose.
+    /// The parallel kernel partitions output rows (CSR columns) so the
+    /// scatter writes stay race-free and deterministic.
     pub fn spmm_t(&self, dense: &Matrix) -> Matrix {
-        assert_eq!(
-            self.rows,
-            dense.rows(),
-            "spmm_t: row counts differ ({}x{} vs {}x{})",
-            self.rows,
-            self.cols,
-            dense.rows(),
-            dense.cols()
-        );
-        let d = dense.cols();
-        let mut out = Matrix::zeros(self.cols, d);
-        for r in 0..self.rows {
-            let (cols, vals) = self.row(r);
-            let drow = dense.row(r);
-            for (&c, &v) in cols.iter().zip(vals) {
-                let orow = out.row_mut(c as usize);
-                for (o, &x) in orow.iter_mut().zip(drow) {
-                    *o += v * x;
-                }
-            }
-        }
-        out
+        crate::kernels::spmm_t(self, dense)
     }
 
     /// The transposed CSR (materialized).

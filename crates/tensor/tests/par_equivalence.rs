@@ -1,0 +1,203 @@
+//! Equivalence suite for the parallel execution layer: every tiled /
+//! thread-parallel kernel must match its serial reference across random
+//! shapes, thread counts (1, 2, 4) and degenerate cases (empty
+//! matrices, single rows, nnz = 0 CSRs).
+//!
+//! The kernels are designed to be *bitwise* identical to the serial
+//! reference (each output row is produced by one worker in the serial
+//! accumulation order), so the 1e-5 tolerance here is slack on top of
+//! an exact contract — the dedicated tests at the bottom pin the exact
+//! version down.
+
+use gnmr_tensor::{kernels, par, Csr, Matrix};
+use proptest::prelude::*;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+const TOL: f32 = 1e-5;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-5.0f32..5.0, rows * cols)
+        .prop_map(move |d| Matrix::from_vec(rows, cols, d))
+}
+
+/// `(a, b)` with compatible inner dimensions for `a * b`, including
+/// zero-sized shapes.
+fn matmul_inputs() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (0usize..12, 0usize..12, 0usize..12).prop_flat_map(|(m, k, n)| (matrix(m, k), matrix(k, n)))
+}
+
+/// `(a, b)` with equal row counts for `a^T * b`.
+fn tn_inputs() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (0usize..12, 0usize..12, 0usize..12).prop_flat_map(|(m, k, n)| (matrix(m, k), matrix(m, n)))
+}
+
+/// `(a, b)` with equal column counts for `a * b^T`.
+fn nt_inputs() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (0usize..12, 0usize..12, 0usize..12).prop_flat_map(|(m, k, p)| (matrix(m, k), matrix(p, k)))
+}
+
+/// A CSR (possibly with zero stored entries) and a conformable dense
+/// matrix for `spmm`, plus one for `spmm_t`.
+fn sparse_inputs() -> impl Strategy<Value = (Csr, Matrix, Matrix)> {
+    (1usize..12, 1usize..12, 0usize..8).prop_flat_map(|(rows, cols, d)| {
+        let entry = (0..rows as u32, 0..cols as u32, -3.0f32..3.0).prop_map(|(r, c, v)| (r, c, v));
+        (proptest::collection::vec(entry, 0..40), matrix(cols, d), matrix(rows, d)).prop_map(
+            move |(entries, x, xt)| (Csr::from_triplets(rows, cols, &entries), x, xt),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_matches_serial((a, b) in matmul_inputs()) {
+        let reference = kernels::matmul_serial(&a, &b);
+        for &t in &THREADS {
+            let got = kernels::matmul_with(&a, &b, t);
+            prop_assert_eq!(got.shape(), reference.shape());
+            prop_assert!(got.max_abs_diff(&reference) <= TOL, "threads={}", t);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_serial((a, b) in tn_inputs()) {
+        let reference = kernels::matmul_tn_serial(&a, &b);
+        for &t in &THREADS {
+            let got = kernels::matmul_tn_with(&a, &b, t);
+            prop_assert_eq!(got.shape(), reference.shape());
+            prop_assert!(got.max_abs_diff(&reference) <= TOL, "threads={}", t);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_serial((a, b) in nt_inputs()) {
+        let reference = kernels::matmul_nt_serial(&a, &b);
+        for &t in &THREADS {
+            let got = kernels::matmul_nt_with(&a, &b, t);
+            prop_assert_eq!(got.shape(), reference.shape());
+            prop_assert!(got.max_abs_diff(&reference) <= TOL, "threads={}", t);
+        }
+    }
+
+    #[test]
+    fn spmm_and_spmm_t_match_serial((csr, x, xt) in sparse_inputs()) {
+        let reference = kernels::spmm_serial(&csr, &x);
+        let reference_t = kernels::spmm_t_serial(&csr, &xt);
+        for &t in &THREADS {
+            let got = kernels::spmm_with(&csr, &x, t);
+            prop_assert_eq!(got.shape(), reference.shape());
+            prop_assert!(got.max_abs_diff(&reference) <= TOL, "spmm threads={}", t);
+            let got_t = kernels::spmm_t_with(&csr, &xt, t);
+            prop_assert_eq!(got_t.shape(), reference_t.shape());
+            prop_assert!(got_t.max_abs_diff(&reference_t) <= TOL, "spmm_t threads={}", t);
+        }
+    }
+
+    #[test]
+    fn spmm_agrees_with_dense_matmul((csr, x, _xt) in sparse_inputs()) {
+        // Cross-check the whole sparse path against the dense one.
+        let dense = csr.to_dense().matmul(&x);
+        for &t in &THREADS {
+            prop_assert!(kernels::spmm_with(&csr, &x, t).max_abs_diff(&dense) <= 1e-4);
+        }
+    }
+
+    #[test]
+    fn scatter_add_matches_serial(
+        (rows, src) in (1usize..10, 0usize..6).prop_flat_map(|(r, c)| (Just(r), matrix(8, c))),
+        seed in 0u32..1000,
+    ) {
+        // Deterministic pseudo-indices into `rows` destination rows.
+        let indices: Vec<u32> =
+            (0..src.rows() as u32).map(|i| (i * 7 + seed) % rows as u32).collect();
+        let mut reference = Matrix::zeros(rows, src.cols());
+        for (o, &idx) in indices.iter().enumerate() {
+            for (d, s) in reference.row_mut(idx as usize).iter_mut().zip(src.row(o)) {
+                *d += s;
+            }
+        }
+        for &t in &THREADS {
+            let mut dst = Matrix::zeros(rows, src.cols());
+            kernels::scatter_add_rows_with(&mut dst, &indices, &src, t);
+            prop_assert!(dst.max_abs_diff(&reference) <= TOL, "threads={}", t);
+        }
+    }
+}
+
+// ----- degenerate cases, pinned exactly -------------------------------
+
+#[test]
+fn empty_matrices_all_kernels() {
+    let a00 = Matrix::zeros(0, 0);
+    for &t in &THREADS {
+        assert_eq!(kernels::matmul_with(&a00, &a00, t).shape(), (0, 0));
+        assert_eq!(kernels::matmul_with(&Matrix::zeros(0, 4), &Matrix::zeros(4, 3), t).shape(), (0, 3));
+        assert_eq!(kernels::matmul_with(&Matrix::zeros(3, 0), &Matrix::zeros(0, 2), t).shape(), (3, 2));
+        assert_eq!(kernels::matmul_tn_with(&Matrix::zeros(0, 4), &Matrix::zeros(0, 2), t).shape(), (4, 2));
+        assert_eq!(kernels::matmul_nt_with(&Matrix::zeros(2, 0), &Matrix::zeros(5, 0), t).shape(), (2, 5));
+    }
+}
+
+#[test]
+fn single_row_inputs() {
+    let a = Matrix::from_vec(1, 3, vec![1.0, -2.0, 0.5]);
+    let b = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    let reference = kernels::matmul_serial(&a, &b);
+    for &t in &THREADS {
+        // More threads than rows must clamp, not panic.
+        assert_eq!(kernels::matmul_with(&a, &b, t).data(), reference.data());
+    }
+}
+
+#[test]
+fn nnz_zero_csr() {
+    let e = Csr::empty(5, 7);
+    let x = Matrix::ones(7, 3);
+    let xt = Matrix::ones(5, 3);
+    for &t in &THREADS {
+        let y = kernels::spmm_with(&e, &x, t);
+        assert_eq!(y.shape(), (5, 3));
+        assert_eq!(y.sum(), 0.0);
+        let yt = kernels::spmm_t_with(&e, &xt, t);
+        assert_eq!(yt.shape(), (7, 3));
+        assert_eq!(yt.sum(), 0.0);
+    }
+}
+
+#[test]
+fn parallel_results_are_bitwise_identical() {
+    // The determinism contract is stronger than a tolerance: any thread
+    // count must give byte-for-byte the serial result.
+    let a = Matrix::from_fn(37, 53, |r, c| ((r * 13 + c * 31) as f32 * 0.017).sin());
+    let b = Matrix::from_fn(53, 29, |r, c| ((r * 7 + c * 11) as f32 * 0.029).cos());
+    let reference = kernels::matmul_serial(&a, &b);
+    for t in 1..=8 {
+        assert_eq!(kernels::matmul_with(&a, &b, t).data(), reference.data(), "threads={t}");
+    }
+    let csr = Csr::from_triplets(
+        40,
+        31,
+        &(0..200)
+            .map(|i| ((i * 17 % 40) as u32, (i * 23 % 31) as u32, (i as f32 * 0.1).sin()))
+            .collect::<Vec<_>>(),
+    );
+    let x = Matrix::from_fn(31, 6, |r, c| (r as f32 - c as f32) * 0.3);
+    let reference = kernels::spmm_serial(&csr, &x);
+    for t in 1..=8 {
+        assert_eq!(kernels::spmm_with(&csr, &x, t).data(), reference.data(), "threads={t}");
+    }
+}
+
+#[test]
+fn auto_dispatch_is_thread_count_invariant() {
+    // 64*64*80 = 327,680 multiply-adds: above PAR_MIN_WORK, so the
+    // public Matrix::matmul takes the parallel path when the global
+    // config allows it. Results must not depend on that choice.
+    let a = Matrix::from_fn(64, 64, |r, c| ((r + 2 * c) as f32 * 0.01).sin());
+    let b = Matrix::from_fn(64, 80, |r, c| ((3 * r + c) as f32 * 0.01).cos());
+    par::set_threads(Some(4));
+    let wide = a.matmul(&b);
+    par::set_threads(Some(1));
+    let narrow = a.matmul(&b);
+    par::set_threads(None);
+    assert_eq!(wide.data(), narrow.data());
+}
