@@ -14,8 +14,10 @@
 //! `matmul`/`spmm` (and their transposed backward counterparts) inherit
 //! the tiled, thread-parallel kernels of `gnmr_tensor::kernels`, and
 //! gradient accumulation (`add_assign`, the `gather_rows` scatter-add)
-//! runs on the same shared pool where the buffers are large enough to
-//! amortize it.
+//! runs on the same shared **persistent worker pool** where the
+//! buffers are large enough to amortize dispatch — important for the
+//! tape, which issues many sub-millisecond kernel calls per training
+//! step and would otherwise pay a thread spawn on each.
 
 use std::sync::Arc;
 

@@ -76,23 +76,71 @@ pub fn leave_one_out(log: &InteractionLog, target: &str, n_negatives: usize, see
 
         let interacted: HashSet<u32> = target_events.iter().map(|e| e.item).collect();
         assert!(
-            (n_items as usize) > interacted.len() + n_negatives,
+            (n_items as usize) >= interacted.len() + n_negatives,
             "catalogue too small: user {user} needs {n_negatives} negatives"
         );
         let mut user_rng = rng::substream(seed, 0xE0A1 ^ u64::from(user));
-        let mut negatives = Vec::with_capacity(n_negatives);
-        let mut seen: HashSet<u32> = HashSet::with_capacity(n_negatives);
-        while negatives.len() < n_negatives {
-            let item = user_rng.gen_range(0..n_items);
-            if interacted.contains(&item) || seen.contains(&item) {
-                continue;
-            }
-            seen.insert(item);
-            negatives.push(item);
-        }
+        let negatives = sample_negatives(&mut user_rng, n_items, &interacted, n_negatives);
         test.push(EvalInstance { user, pos_item: held_out.item, negatives });
     }
     Split { train, test }
+}
+
+/// Samples `n_negatives` distinct items outside `interacted`.
+///
+/// Starts with the classic rejection loop (cheap when the user touched
+/// a small fraction of the catalogue, and byte-compatible with the
+/// historical sampler for every split it could produce), but **bounds
+/// the attempts**: a user who interacted with all or nearly all items
+/// would otherwise spin forever (the old loop was a coupon-collector
+/// over a vanishing acceptance set). Once the bound trips, the
+/// remaining negatives are drawn from the explicit complement set by a
+/// partial Fisher–Yates shuffle — still deterministic in the RNG
+/// stream, and guaranteed to terminate for any feasible request.
+///
+/// Callers must ensure feasibility: `n_items - interacted.len() >=
+/// n_negatives`.
+fn sample_negatives(
+    user_rng: &mut impl Rng,
+    n_items: u32,
+    interacted: &HashSet<u32>,
+    n_negatives: usize,
+) -> Vec<u32> {
+    let mut negatives = Vec::with_capacity(n_negatives);
+    let mut seen: HashSet<u32> = HashSet::with_capacity(n_negatives);
+    // Enough attempts that a sparse user virtually never falls through
+    // (the common case stays on the historical path), yet few enough
+    // that a dense user reaches the complement fallback immediately.
+    let max_attempts = 8 * n_negatives + 64;
+    let mut attempts = 0;
+    while negatives.len() < n_negatives && attempts < max_attempts {
+        attempts += 1;
+        let item = user_rng.gen_range(0..n_items);
+        if interacted.contains(&item) || seen.contains(&item) {
+            continue;
+        }
+        seen.insert(item);
+        negatives.push(item);
+    }
+    if negatives.len() < n_negatives {
+        // Dense-user fallback: enumerate the complement (ascending) and
+        // take a uniform sample of the shortfall via partial
+        // Fisher–Yates on the same per-user RNG stream.
+        let mut complement: Vec<u32> =
+            (0..n_items).filter(|i| !interacted.contains(i) && !seen.contains(i)).collect();
+        let shortfall = n_negatives - negatives.len();
+        assert!(
+            shortfall <= complement.len(),
+            "sample_negatives: need {shortfall} more negatives but only {} items remain",
+            complement.len()
+        );
+        for k in 0..shortfall {
+            let j = user_rng.gen_range(k as u32..complement.len() as u32) as usize;
+            complement.swap(k, j);
+            negatives.push(complement[k]);
+        }
+    }
+    negatives
 }
 
 #[cfg(test)]
@@ -181,6 +229,28 @@ mod tests {
         let c = inst.candidates();
         assert_eq!(c[0], inst.pos_item);
         assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn dense_user_negatives_fall_back_to_complement() {
+        // User 0 interacted with 27 of 30 items under "like": the only
+        // valid negatives are the 3-item complement. The old rejection
+        // loop had no bound (a coupon-collector over a vanishing
+        // acceptance set), and the old feasibility assert rejected this
+        // exactly-feasible request outright.
+        let n_items = 30;
+        let events: Vec<Interaction> =
+            (0..27u32).map(|i| Interaction { user: 0, item: i, behavior: 0, ts: i }).collect();
+        let log = InteractionLog::new(1, n_items, vec!["like".into()], events).unwrap();
+        let split = leave_one_out(&log, "like", 3, 7);
+        assert_eq!(split.test.len(), 1);
+        let inst = &split.test[0];
+        assert_eq!(inst.pos_item, 26);
+        let mut neg = inst.negatives.clone();
+        neg.sort_unstable();
+        assert_eq!(neg, vec![27, 28, 29], "dense user must receive exactly the complement");
+        // Still deterministic per seed on the fallback path.
+        assert_eq!(split.test, leave_one_out(&log, "like", 3, 7).test);
     }
 
     #[test]

@@ -12,7 +12,11 @@ use crate::stats::GraphStats;
 /// Adjacency is stored both as user->item CSR and item->user CSR (the
 /// transpose), because GNMR propagates messages in both directions each
 /// layer. Matrices are wrapped in `Arc` so the autodiff tape can reference
-/// them without copies.
+/// them without copies. Construction and normalization of large
+/// adjacencies run on the shared `gnmr_tensor::par` worker pool (the
+/// CSR builders parallelize automatically past the kernel-layer work
+/// threshold), so graph building is no longer a serial preprocessing
+/// step.
 #[derive(Clone)]
 pub struct MultiBehaviorGraph {
     n_users: usize,

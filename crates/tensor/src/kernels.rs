@@ -1,6 +1,8 @@
 //! The kernel layer: tiled, thread-parallel implementations of the
 //! workspace's hot linear-algebra loops, plus the serial references they
-//! are tested against.
+//! are tested against. Parallel dispatch runs on the persistent worker
+//! pool in [`crate::par`], so even sub-millisecond kernels pay only a
+//! few microseconds of handoff rather than per-call thread spawns.
 //!
 //! [`Matrix`](crate::Matrix) and [`Csr`](crate::Csr) delegate their
 //! public ops here, so this module is the single landing zone for future
@@ -26,9 +28,10 @@ use crate::par;
 use crate::sparse::Csr;
 
 /// Work threshold (in multiply-add units) below which kernels stay on
-/// the serial path: scoped-thread spawning costs on the order of tens
-/// of microseconds, so only kernels with enough arithmetic to amortize
-/// it go parallel.
+/// the serial path: handing chunks to the persistent pool costs a few
+/// microseconds per call (condvar wake + completion wait — far below
+/// the old per-call thread spawn, but not free), so only kernels with
+/// enough arithmetic to amortize it go parallel.
 pub const PAR_MIN_WORK: usize = 64 * 1024;
 
 /// Column-block width of the tiled dense matmul: one output block row

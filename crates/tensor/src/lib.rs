@@ -13,10 +13,11 @@
 //!   *data-dependent* operations return `Result`.
 //! * Every randomized routine takes an explicit RNG; the workspace-wide
 //!   determinism contract is "same seed, same bytes".
-//! * Hot kernels run on the shared scoped-thread pool in [`par`]; the
-//!   thread count is governed by one knob (`GNMR_THREADS` /
-//!   [`par::set_threads`]) and parallel results are bitwise identical
-//!   to the serial reference (see [`kernels`]).
+//! * Hot kernels run on the shared **persistent worker pool** in
+//!   [`par`] (long-lived workers parked on a condvar, spawned lazily
+//!   and reused across calls); the thread count is governed by one knob
+//!   (`GNMR_THREADS` / [`par::set_threads`]) and parallel results are
+//!   bitwise identical to the serial reference (see [`kernels`]).
 
 pub mod dense;
 pub mod init;

@@ -1,5 +1,6 @@
-//! The shared parallel execution substrate: a scoped worker pool with
-//! row-range partitioning, plus the workspace-wide thread-count config.
+//! The shared parallel execution substrate: a lazily-initialized
+//! **persistent worker pool** with row-range partitioning, plus the
+//! workspace-wide thread-count config.
 //!
 //! Every hot loop in the workspace — dense/sparse kernels, autograd
 //! gradient accumulation, the evaluation protocol, the repro harness —
@@ -7,13 +8,29 @@
 //! binary. The thread count resolves, in order:
 //!
 //! 1. a programmatic override set with [`set_threads`];
-//! 2. the `GNMR_THREADS` environment variable (positive integer);
+//! 2. the `GNMR_THREADS` environment variable (positive integer, **read
+//!    once per process** and cached — see [`ENV_VAR`]);
 //! 3. [`std::thread::available_parallelism`].
 //!
-//! Workers are `std::thread::scope` threads spawned per call (std-only,
-//! no vendored deps); callers are expected to gate small workloads to a
-//! serial path so spawn overhead never dominates (see
-//! [`crate::kernels`]).
+//! # Pool lifecycle
+//!
+//! Workers are long-lived `std` threads parked on a condvar, spawned
+//! lazily by the first parallel dispatch and reused by every subsequent
+//! one, so sub-millisecond kernels no longer pay per-call thread-spawn
+//! overhead. The pool grows on demand (a dispatch that wants more
+//! workers than exist spawns the difference) and shrinks gracefully
+//! when [`set_threads`] lowers the configured count (surplus workers
+//! are retired and joined). Callers are still expected to gate small
+//! workloads to a serial path so even the (much smaller) dispatch
+//! overhead never dominates (see [`crate::kernels`]).
+//!
+//! Dispatch can never deadlock on pool capacity: the dispatching thread
+//! participates in its own job and drains any chunks the workers have
+//! not claimed, so every call completes even with zero live workers.
+//! Nested parallel calls (a chunk closure that itself invokes
+//! [`for_each_row_chunk`]) are detected via a thread-local and run
+//! inline on the worker in serial chunk order — safe, deterministic,
+//! and never queue-blocking.
 //!
 //! # Determinism
 //!
@@ -23,82 +40,404 @@
 //! loop, bit for bit, as long as the per-row computation is itself
 //! deterministic. All kernels in this crate are written that way, which
 //! preserves the workspace "same seed, same bytes" contract at every
-//! thread count.
+//! thread count. Which thread executes a chunk (a pool worker, the
+//! caller, or — for nested calls — the enclosing worker) never affects
+//! the bytes produced.
 
+// The workspace denies `unsafe_code`; this module is the single,
+// deliberate exception. Persistent workers outlive any one call, so
+// handing them borrowed chunk slices cannot be expressed in safe Rust
+// (scoped threads can — but die with the call, which is exactly the
+// spawn overhead this pool removes). Every unsafe operation here is
+// guarded by the claim/quiesce protocol documented on `Job`: a chunk
+// pointer is dereferenced only after a successful claim, and the
+// dispatching caller blocks until every chunk has quiesced, so the
+// borrows it holds strictly outlive all worker accesses.
+#![allow(unsafe_code)]
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
 use std::ops::Range;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+// ----- thread-count config --------------------------------------------
 
 /// Programmatic thread-count override; 0 means "unset".
 static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
 /// Name of the environment variable consulted by [`num_threads`].
+///
+/// The variable is read **once per process** (on the first call that
+/// needs it) and cached: re-pointing `GNMR_THREADS` mid-process has no
+/// effect, which keeps the hottest dispatch path free of environment
+/// lookups and immune to races with code mutating the environment. Use
+/// [`set_threads`] for dynamic reconfiguration.
 pub const ENV_VAR: &str = "GNMR_THREADS";
+
+/// Cached once-per-process resolution of [`ENV_VAR`].
+static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+
+/// Cached hardware parallelism.
+static HW_THREADS: OnceLock<usize> = OnceLock::new();
 
 /// Sets (or with `None` clears) the programmatic thread-count override.
 ///
 /// Takes precedence over `GNMR_THREADS` and the hardware default.
-/// `Some(0)` is treated as `None`.
+/// `Some(0)` is treated as `None`. If the worker pool is already
+/// running, it is resized to match the new configuration: surplus
+/// workers are retired and joined immediately; growth happens eagerly
+/// too, so the next dispatch finds the pool ready.
 pub fn set_threads(n: Option<usize>) {
     OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+    resize_pool(num_threads().saturating_sub(1));
+}
+
+fn env_threads() -> Option<usize> {
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var(ENV_VAR).ok().and_then(|s| s.trim().parse::<usize>().ok()).filter(|&n| n > 0)
+    })
 }
 
 /// The number of worker threads parallel kernels should use.
 ///
 /// Resolution order: [`set_threads`] override, then `GNMR_THREADS`
-/// (ignored unless it parses to a positive integer), then
+/// (ignored unless it parses to a positive integer; read once per
+/// process, see [`ENV_VAR`]), then
 /// [`std::thread::available_parallelism`]. Always at least 1.
 pub fn num_threads() -> usize {
     let o = OVERRIDE.load(Ordering::Relaxed);
     if o > 0 {
         return o;
     }
-    if let Ok(s) = std::env::var(ENV_VAR) {
-        if let Ok(n) = s.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    hardware_threads()
+    env_threads().unwrap_or_else(hardware_threads)
 }
 
 /// The machine's available parallelism (1 if it cannot be determined).
 pub fn hardware_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    *HW_THREADS
+        .get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
+
+// ----- partitioning ---------------------------------------------------
 
 /// Splits `0..rows` into at most `parts` contiguous, balanced ranges.
 ///
 /// Earlier ranges are at most one row longer than later ones; fewer
-/// ranges are returned when `rows < parts`. `parts` is clamped to at
+/// ranges are returned when `rows < parts`, and an **empty `Vec`** when
+/// `rows == 0` (no spurious `0..0` chunk). `parts` is clamped to at
 /// least 1.
 pub fn partition(rows: usize, parts: usize) -> Vec<Range<usize>> {
-    let parts = parts.clamp(1, rows.max(1));
+    if rows == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, rows);
     let base = rows / parts;
     let extra = rows % parts;
     let mut out = Vec::with_capacity(parts);
     let mut start = 0;
     for t in 0..parts {
         let len = base + usize::from(t < extra);
-        if len == 0 && rows != 0 {
-            break;
-        }
         out.push(start..start + len);
         start += len;
     }
     out
 }
 
+// ----- the persistent worker pool -------------------------------------
+
+/// One in-flight parallel call: a set of `total` chunks claimed
+/// competitively by pool workers and the dispatching caller.
+///
+/// The queue holds `Arc<Job>` *notifications*; they are advisory — the
+/// caller always drains its own job to completion, so a notification
+/// popped after the job finished claims nothing and is a no-op. `ctx`
+/// points into the dispatching caller's stack and is only dereferenced
+/// by a thread that successfully claimed a chunk (`next < total`),
+/// which the caller outlives by construction (it blocks until
+/// `done == total`).
+struct Job {
+    /// Next chunk index to claim.
+    next: AtomicUsize,
+    /// Total number of chunks.
+    total: usize,
+    /// Completed chunks; the caller sleeps on `cv` until it hits
+    /// `total`.
+    done: Mutex<usize>,
+    cv: Condvar,
+    /// First panic payload raised by a chunk closure, rethrown on the
+    /// calling thread once the job has fully quiesced.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Monomorphized trampoline running chunk `i` of the call context.
+    run: unsafe fn(*const (), usize),
+    /// Type-erased pointer to the caller-stack closure.
+    ctx: *const (),
+}
+
+// Safety: `ctx` crosses threads, but is only dereferenced under the
+// claim protocol described on the struct; everything else is Sync.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claims and runs chunks until none remain. Called by workers and
+    /// by the dispatching caller alike.
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::AcqRel);
+            if i >= self.total {
+                return;
+            }
+            // Chunks are independent; a panic in one must not abandon
+            // the completion protocol (the caller would deadlock and
+            // the borrow it holds would outlive the unwinding), so the
+            // payload is parked and rethrown by the caller.
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe {
+                (self.run)(self.ctx, i)
+            }));
+            if let Err(payload) = result {
+                self.panic.lock().unwrap().get_or_insert(payload);
+            }
+            let mut done = self.done.lock().unwrap();
+            *done += 1;
+            if *done == self.total {
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every chunk has completed.
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap();
+        while *done < self.total {
+            done = self.cv.wait(done).unwrap();
+        }
+    }
+}
+
+struct PoolState {
+    queue: VecDeque<Arc<Job>>,
+    /// Number of workers currently alive (spawned, retirement not yet
+    /// acknowledged). The pool's *effective* size is `live - retiring`.
+    live: usize,
+    /// Pending retirement tokens. Any worker that wakes while one is
+    /// outstanding consumes it and exits — retirement is by count, not
+    /// by identity, so a concurrent grow can never resurrect a worker
+    /// another thread is waiting on.
+    retiring: usize,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Parks idle workers; notified on job arrival and on shrink (so
+    /// workers observe retirement tokens). Only workers wait here —
+    /// dispatch's targeted `notify_one` wakeups must never be absorbed
+    /// by a blocked resizer.
+    cv: Condvar,
+    /// Parks `resize_pool` shrink-waiters; notified when a worker
+    /// acknowledges a retirement token and when a grow cancels pending
+    /// tokens. Shares the `state` mutex with `cv`.
+    resize_cv: Condvar,
+}
+
+static POOL: OnceLock<Arc<PoolShared>> = OnceLock::new();
+
+thread_local! {
+    /// Set for the lifetime of every pool worker thread; nested
+    /// parallel calls detect it and run inline instead of re-entering
+    /// the queue (which could otherwise stall behind their own caller).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn pool() -> &'static Arc<PoolShared> {
+    POOL.get_or_init(|| {
+        Arc::new(PoolShared {
+            state: Mutex::new(PoolState { queue: VecDeque::new(), live: 0, retiring: 0 }),
+            cv: Condvar::new(),
+            resize_cv: Condvar::new(),
+        })
+    })
+}
+
+/// Monotonic counter naming worker threads (names are purely cosmetic;
+/// retirement is by token, not identity).
+static WORKER_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    IN_WORKER.with(|w| w.set(true));
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                // Retirement first, so shrinks complete promptly even
+                // under a steady stream of dispatches (callers drain
+                // their own jobs regardless).
+                if st.retiring > 0 {
+                    st.retiring -= 1;
+                    st.live -= 1;
+                    shared.resize_cv.notify_all();
+                    return;
+                }
+                if let Some(job) = st.queue.pop_front() {
+                    break job;
+                }
+                st = shared.cv.wait(st).unwrap();
+            }
+        };
+        job.work();
+    }
+}
+
+/// Grows the pool (under its already-held state lock) so its effective
+/// size (`live - retiring`) reaches `want`, first cancelling pending
+/// retirements, then spawning. Never shrinks (see [`resize_pool`]).
+fn grow_locked(shared: &Arc<PoolShared>, st: &mut PoolState, want: usize) {
+    let mut cancelled = false;
+    while st.live - st.retiring < want && st.retiring > 0 {
+        st.retiring -= 1;
+        cancelled = true;
+    }
+    if cancelled {
+        // A shrinker may be blocked waiting for `retiring` to drain;
+        // cancellation is also progress it must observe.
+        shared.resize_cv.notify_all();
+    }
+    while st.live - st.retiring < want {
+        let sh = Arc::clone(shared);
+        let id = WORKER_SEQ.fetch_add(1, Ordering::Relaxed);
+        match std::thread::Builder::new()
+            .name(format!("gnmr-par-{id}"))
+            .spawn(move || worker_loop(sh))
+        {
+            Ok(_) => st.live += 1, // detached; exits via a retire token
+            Err(_) => break,       // degrade gracefully; callers self-drain
+        }
+    }
+}
+
+/// Resizes the pool to exactly `workers` effective workers — but only
+/// if the pool has already been started (a process that never
+/// dispatched in parallel never spawns threads). Shrinking issues
+/// retirement tokens and blocks until surplus workers acknowledge them.
+/// A worker busy on a job acknowledges only after draining that whole
+/// job (it claims chunks until none remain before re-checking pool
+/// state), so a shrink can block for the worker's full current job —
+/// not merely its current chunk. Chunks retirees never claimed are
+/// drained by their dispatching callers, so no work is lost. Called
+/// from inside a pool worker, the shrink is requested but not awaited
+/// (a worker cannot wait for its own retirement).
+fn resize_pool(workers: usize) {
+    let Some(shared) = POOL.get() else { return };
+    let mut st = shared.state.lock().unwrap();
+    let effective = st.live - st.retiring;
+    if effective < workers {
+        grow_locked(shared, &mut st, workers);
+        return;
+    }
+    st.retiring += effective - workers;
+    drop(st);
+    shared.cv.notify_all();
+    if IN_WORKER.with(|w| w.get()) {
+        return;
+    }
+    let mut st = shared.state.lock().unwrap();
+    while st.retiring > 0 {
+        st = shared.resize_cv.wait(st).unwrap();
+    }
+}
+
+/// Number of currently live pool workers, net of pending retirements
+/// (0 before the first parallel dispatch, and after a resize to a
+/// single thread). Exposed for the pool-lifecycle tests; kernels
+/// should not branch on it.
+pub fn pool_workers() -> usize {
+    POOL.get().map_or(0, |shared| {
+        let st = shared.state.lock().unwrap();
+        st.live - st.retiring
+    })
+}
+
+unsafe fn trampoline<F: Fn(usize) + Sync>(ctx: *const (), i: usize) {
+    unsafe { (*ctx.cast::<F>())(i) }
+}
+
+/// Runs `f(0)..f(chunks-1)` across the pool and the calling thread,
+/// returning when all chunks completed. `f` must tolerate concurrent
+/// invocation for distinct indices; each index is invoked exactly once.
+fn run_chunks<F: Fn(usize) + Sync>(chunks: usize, f: &F) {
+    if chunks <= 1 || IN_WORKER.with(|w| w.get()) {
+        // Serial / nested path: same chunks, same order as the serial
+        // reference — identical bytes, no queue involvement.
+        for i in 0..chunks {
+            f(i);
+        }
+        return;
+    }
+    let job = Arc::new(Job {
+        next: AtomicUsize::new(0),
+        total: chunks,
+        done: Mutex::new(0),
+        cv: Condvar::new(),
+        panic: Mutex::new(None),
+        run: trampoline::<F>,
+        ctx: (f as *const F).cast(),
+    });
+    let shared = pool();
+    let notifications = {
+        let mut st = shared.state.lock().unwrap();
+        grow_locked(shared, &mut st, chunks - 1);
+        let notifications = (chunks - 1).min(st.live - st.retiring);
+        for _ in 0..notifications {
+            st.queue.push_back(Arc::clone(&job));
+        }
+        notifications
+    };
+    // One targeted wakeup per queued notification: `notify_all` would
+    // stampede every parked worker on each sub-millisecond dispatch. A
+    // wakeup landing on a busy worker is harmless — workers re-check
+    // the queue before parking, so advisory entries are never stranded.
+    for _ in 0..notifications {
+        shared.cv.notify_one();
+    }
+    job.work(); // participate; drains every chunk no worker claimed
+    job.wait();
+    let payload = job.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// A raw pointer that may cross threads; used to hand each claimed
+/// chunk a disjoint `&mut` slice of the caller's buffer.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor rather than field read so closures capture the whole
+    /// (`Sync`) wrapper, not the raw (`!Sync`) pointer field.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
 /// Runs `f(row_range, out_chunk)` over a row-partitioned `data` buffer,
-/// in parallel on `threads` scoped workers.
+/// on the persistent worker pool plus the calling thread.
 ///
 /// `data` must be row-aligned: `data.len()` must be a multiple of
 /// `rows` (the common case is a row-major matrix buffer, where the
-/// implied row width is `data.len() / rows`). Each worker receives a
-/// disjoint `&mut` chunk covering exactly the rows in its range, so the
+/// implied row width is `data.len() / rows`). Each claimed chunk is a
+/// disjoint `&mut` slice covering exactly the rows in its range, so the
 /// closure needs no synchronization. With `threads <= 1` (or a single
 /// row) the closure runs inline on the calling thread — the serial path
-/// and the parallel path execute identical per-row code.
+/// and the parallel path execute identical per-row code. Nested calls
+/// from inside a chunk closure also run inline (serially, in chunk
+/// order) rather than re-entering the pool.
+///
+/// The call blocks until every chunk has completed; a panic inside the
+/// closure is rethrown on the calling thread after the job quiesces.
 ///
 /// # Panics
 /// If `rows > 0` and `data.len()` is not a multiple of `rows`.
@@ -118,20 +457,76 @@ where
         return;
     }
     let width = data.len() / rows;
-    let f = &f;
-    std::thread::scope(|scope| {
-        let mut rest = data;
-        for range in partition(rows, threads) {
-            let (chunk, tail) = rest.split_at_mut(range.len() * width);
-            rest = tail;
-            if range.end == rows {
-                // Run the final chunk on the calling thread; the scope
-                // joins the spawned workers on exit.
-                f(range, chunk);
-            } else {
-                scope.spawn(move || f(range, chunk));
-            }
-        }
+    let ranges = partition(rows, threads);
+    let base = SendPtr(data.as_mut_ptr());
+    run_chunks(ranges.len(), &|i: usize| {
+        let range = ranges[i].clone();
+        // Safety: partition ranges are disjoint and within 0..rows, so
+        // each chunk is an exclusive slice of `data`, which the caller
+        // borrows mutably for the whole (blocking) call.
+        let chunk = unsafe {
+            std::slice::from_raw_parts_mut(base.get().add(range.start * width), range.len() * width)
+        };
+        f(range, chunk);
+    });
+}
+
+/// Like [`for_each_row_chunk`], but for buffers whose rows have
+/// *uneven* widths — e.g. the `values` array of a CSR matrix, where
+/// `spans` is the `indptr` array mapping row `r` to the element range
+/// `spans[r]..spans[r + 1]`.
+///
+/// `spans` must have `rows + 1` non-decreasing entries with
+/// `spans[rows] <= data.len()`; `f(row_range, chunk)` receives the
+/// elements `spans[row_range.start]..spans[row_range.end]` as a
+/// disjoint `&mut` slice. Rows (not elements) are balanced across
+/// chunks. Serial (`threads <= 1`) and nested calls run inline exactly
+/// like [`for_each_row_chunk`].
+///
+/// # Panics
+/// If `spans` is empty, its boundary entries decrease, or it indexes
+/// past `data`.
+pub fn for_each_span_chunk<T, F>(data: &mut [T], spans: &[usize], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    assert!(!spans.is_empty(), "for_each_span_chunk: spans must have rows + 1 entries");
+    let rows = spans.len() - 1;
+    assert!(
+        spans[rows] <= data.len() && spans[0] <= spans[rows],
+        "for_each_span_chunk: spans index past the buffer ({} > {})",
+        spans[rows],
+        data.len()
+    );
+    debug_assert!(spans.windows(2).all(|w| w[0] <= w[1]), "for_each_span_chunk: spans decrease");
+    let threads = threads.clamp(1, rows.max(1));
+    if threads <= 1 {
+        f(0..rows, &mut data[spans[0]..spans[rows]]);
+        return;
+    }
+    let ranges = partition(rows, threads);
+    // Memory safety rests on the chunk boundaries alone (ranges are
+    // contiguous, so per-range monotonicity chains across chunks), so
+    // validate them in release builds too — O(threads), off the
+    // per-row path.
+    for r in &ranges {
+        assert!(
+            spans[r.start] <= spans[r.end],
+            "for_each_span_chunk: spans decrease across rows {}..{}",
+            r.start,
+            r.end
+        );
+    }
+    let base = SendPtr(data.as_mut_ptr());
+    run_chunks(ranges.len(), &|i: usize| {
+        let range = ranges[i].clone();
+        let (s, e) = (spans[range.start], spans[range.end]);
+        // Safety: partition ranges are disjoint and span boundaries are
+        // non-decreasing (asserted above), so element ranges are
+        // disjoint; the caller's exclusive borrow outlives the call.
+        let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(s), e - s) };
+        f(range, chunk);
     });
 }
 
@@ -160,7 +555,8 @@ mod tests {
     #[test]
     fn partition_never_exceeds_rows() {
         assert_eq!(partition(2, 8).len(), 2);
-        assert_eq!(partition(0, 4), vec![0..0]);
+        assert_eq!(partition(0, 4), vec![]);
+        assert_eq!(partition(0, 1), vec![]);
     }
 
     #[test]
@@ -203,6 +599,46 @@ mod tests {
             }
         });
         assert!(seen.into_inner().unwrap().iter().all(|&b| b));
+    }
+
+    #[test]
+    fn for_each_span_chunk_visits_uneven_rows() {
+        // Rows of widths 0, 3, 1, 0, 2 over a 6-element buffer.
+        let spans = [0usize, 0, 3, 4, 4, 6];
+        for threads in [1usize, 2, 3, 5, 8] {
+            let mut data = vec![0u32; 6];
+            for_each_span_chunk(&mut data, &spans, threads, |range, chunk| {
+                let offset = spans[range.start];
+                for r in range {
+                    for v in &mut chunk[spans[r] - offset..spans[r + 1] - offset] {
+                        *v += r as u32 + 1;
+                    }
+                }
+            });
+            assert_eq!(data, vec![2, 2, 2, 3, 5, 5], "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let rows = 64;
+        let mut data = vec![0u8; rows];
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            for_each_row_chunk(&mut data, rows, 4, |range, _chunk| {
+                if range.contains(&17) {
+                    panic!("boom in chunk");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must cross the pool back to the caller");
+        // The pool must stay usable after a propagated panic.
+        let mut after = vec![0u32; rows];
+        for_each_row_chunk(&mut after, rows, 4, |range, chunk| {
+            for (local, r) in range.enumerate() {
+                chunk[local] = r as u32;
+            }
+        });
+        assert!(after.iter().enumerate().all(|(r, &v)| v == r as u32));
     }
 
     #[test]

@@ -1,7 +1,21 @@
 //! Compressed sparse row matrices and the SpMM kernels used for graph
 //! message passing.
+//!
+//! # Parallel construction & normalization
+//!
+//! Building a CSR from triplets and normalizing it (row / symmetric)
+//! run on the shared persistent worker pool ([`crate::par`]) once the
+//! matrix is large enough to amortize dispatch; below
+//! [`crate::kernels::PAR_MIN_WORK`] stored entries everything stays on
+//! the serial path. Results are **bitwise identical** at every thread
+//! count: construction buckets entries by row (preserving insertion
+//! order), sorts each row stably by column, and sums duplicates in
+//! insertion order — the same accumulation order as the serial
+//! reference; normalization scales disjoint row spans in place.
 
 use crate::dense::Matrix;
+use crate::kernels::PAR_MIN_WORK;
+use crate::par;
 
 /// A coordinate-format sparse matrix builder.
 ///
@@ -40,14 +54,34 @@ impl Coo {
         self.entries.is_empty()
     }
 
-    /// Converts to CSR, sorting entries and summing duplicates.
-    pub fn to_csr(mut self) -> Csr {
-        self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
-        rebuild_csr(self.rows, self.cols, &self.entries)
+    /// Converts to CSR, sorting entries and summing duplicates in
+    /// insertion order. Large conversions run on the shared worker
+    /// pool.
+    pub fn to_csr(self) -> Csr {
+        let threads = auto_build_threads(self.entries.len());
+        build_csr(self.rows, self.cols, self.entries, threads)
+    }
+
+    /// [`Coo::to_csr`] on an explicit number of threads (used by the
+    /// equivalence tests and benches).
+    pub fn to_csr_with(self, threads: usize) -> Csr {
+        build_csr(self.rows, self.cols, self.entries, threads)
     }
 }
 
-/// Builds a CSR from sorted COO entries, summing duplicates.
+/// Thread count for CSR construction/normalization: serial below
+/// [`PAR_MIN_WORK`] stored entries, otherwise the shared config.
+fn auto_build_threads(nnz: usize) -> usize {
+    if nnz < PAR_MIN_WORK {
+        1
+    } else {
+        par::num_threads()
+    }
+}
+
+/// Builds a CSR from serially sorted COO entries, summing duplicates.
+/// `sorted` must be stably sorted by `(row, col)`, so duplicates sum in
+/// insertion order.
 fn rebuild_csr(rows: usize, cols: usize, sorted: &[(u32, u32, f32)]) -> Csr {
     let mut indptr = vec![0usize; rows + 1];
     let mut indices: Vec<u32> = Vec::with_capacity(sorted.len());
@@ -69,6 +103,93 @@ fn rebuild_csr(rows: usize, cols: usize, sorted: &[(u32, u32, f32)]) -> Csr {
     Csr { rows, cols, indptr, indices, values }
 }
 
+/// Output of one worker's row range during parallel CSR construction.
+struct RangeOut {
+    start_row: usize,
+    row_nnz: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+/// Builds a CSR from (row, col, value) triplets in any order; duplicate
+/// coordinates are summed **in insertion order** (both paths below are
+/// stable, so serial and parallel construction yield identical bytes).
+fn build_csr(rows: usize, cols: usize, mut entries: Vec<(u32, u32, f32)>, threads: usize) -> Csr {
+    let threads = threads.clamp(1, rows.max(1));
+    if threads <= 1 {
+        // Serial reference: one stable sort, then a linear compaction.
+        entries.sort_by_key(|&(r, c, _)| (r, c));
+        return rebuild_csr(rows, cols, &entries);
+    }
+
+    // 1) Counting-sort entries by row (stable: insertion order survives
+    //    within each row). Serial, O(nnz + rows), cache-friendly.
+    let mut row_start = vec![0usize; rows + 1];
+    for &(r, _, _) in &entries {
+        row_start[r as usize + 1] += 1;
+    }
+    for i in 0..rows {
+        row_start[i + 1] += row_start[i];
+    }
+    let mut cursor = row_start.clone();
+    let mut bucketed: Vec<(u32, f32)> = vec![(0, 0.0); entries.len()];
+    for &(r, c, v) in &entries {
+        bucketed[cursor[r as usize]] = (c, v);
+        cursor[r as usize] += 1;
+    }
+    drop(entries);
+
+    // 2) Workers own disjoint row ranges: stable-sort each row slice by
+    //    column, sum duplicates in order, emit compacted arrays. Range
+    //    outputs are stitched back together in row order, so the result
+    //    is independent of which worker ran first.
+    let outputs = std::sync::Mutex::new(Vec::new());
+    par::for_each_span_chunk(&mut bucketed, &row_start, threads, |range, chunk| {
+        let offset = row_start[range.start];
+        let mut out = RangeOut {
+            start_row: range.start,
+            row_nnz: Vec::with_capacity(range.len()),
+            indices: Vec::with_capacity(chunk.len()),
+            values: Vec::with_capacity(chunk.len()),
+        };
+        for r in range.clone() {
+            let row = &mut chunk[row_start[r] - offset..row_start[r + 1] - offset];
+            row.sort_by_key(|&(c, _)| c);
+            let before = out.indices.len();
+            let mut prev: Option<u32> = None;
+            for &(c, v) in row.iter() {
+                if prev == Some(c) {
+                    *out.values.last_mut().unwrap() += v;
+                } else {
+                    out.indices.push(c);
+                    out.values.push(v);
+                    prev = Some(c);
+                }
+            }
+            out.row_nnz.push(out.indices.len() - before);
+        }
+        outputs.lock().unwrap().push(out);
+    });
+    let mut outputs = outputs.into_inner().unwrap();
+    outputs.sort_by_key(|o| o.start_row);
+
+    let mut indptr = vec![0usize; rows + 1];
+    let mut indices = Vec::with_capacity(bucketed.len());
+    let mut values = Vec::with_capacity(bucketed.len());
+    let mut row = 0;
+    for out in outputs {
+        debug_assert_eq!(out.start_row, row, "row ranges must stitch contiguously");
+        for nnz in out.row_nnz {
+            indptr[row + 1] = indptr[row] + nnz;
+            row += 1;
+        }
+        indices.extend_from_slice(&out.indices);
+        values.extend_from_slice(&out.values);
+    }
+    debug_assert_eq!(row, rows);
+    Csr { rows, cols, indptr, indices, values }
+}
+
 /// A compressed-sparse-row matrix of `f32`.
 ///
 /// Immutable once built; graph adjacency matrices are constructed once per
@@ -83,15 +204,26 @@ pub struct Csr {
 }
 
 impl Csr {
-    /// Builds a CSR from (row, col, value) triplets (any order, duplicates
-    /// summed).
+    /// Builds a CSR from (row, col, value) triplets (any order,
+    /// duplicates summed in insertion order). Large builds run on the
+    /// shared worker pool; results are bitwise identical to the serial
+    /// path.
     pub fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f32)]) -> Self {
-        let mut sorted: Vec<(u32, u32, f32)> = triplets.to_vec();
-        for &(r, c, _) in &sorted {
+        Self::from_triplets_with(rows, cols, triplets, auto_build_threads(triplets.len()))
+    }
+
+    /// [`Csr::from_triplets`] on an explicit number of threads (used by
+    /// the equivalence tests and benches).
+    pub fn from_triplets_with(
+        rows: usize,
+        cols: usize,
+        triplets: &[(u32, u32, f32)],
+        threads: usize,
+    ) -> Self {
+        for &(r, c, _) in triplets {
             assert!((r as usize) < rows && (c as usize) < cols, "Csr::from_triplets: ({r},{c}) out of bounds for {rows}x{cols}");
         }
-        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
-        rebuild_csr(rows, cols, &sorted)
+        build_csr(rows, cols, triplets.to_vec(), threads)
     }
 
     /// An empty (all-zero) CSR.
@@ -163,42 +295,61 @@ impl Csr {
         Csr::from_triplets(self.cols, self.rows, &triplets)
     }
 
-    /// A copy whose rows each sum to 1 (rows summing to 0 are left zero).
+    /// A copy whose rows each sum to 1 (rows summing to 0 are left
+    /// zero). Large matrices normalize their row spans on the shared
+    /// worker pool; each row is scaled by exactly one thread, so the
+    /// result is bitwise identical at every thread count.
     pub fn row_normalized(&self) -> Csr {
+        self.row_normalized_with(auto_build_threads(self.nnz()))
+    }
+
+    /// [`Csr::row_normalized`] on an explicit number of threads.
+    pub fn row_normalized_with(&self, threads: usize) -> Csr {
         let mut out = self.clone();
-        for r in 0..out.rows {
-            let (s, e) = (out.indptr[r], out.indptr[r + 1]);
-            let total: f32 = out.values[s..e].iter().sum();
-            if total != 0.0 {
-                for v in &mut out.values[s..e] {
-                    *v /= total;
+        par::for_each_span_chunk(&mut out.values, &out.indptr, threads, |range, chunk| {
+            let offset = out.indptr[range.start];
+            for r in range {
+                let row = &mut chunk[out.indptr[r] - offset..out.indptr[r + 1] - offset];
+                let total: f32 = row.iter().sum();
+                if total != 0.0 {
+                    for v in row {
+                        *v /= total;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
     /// A copy scaled by `1/sqrt(deg_row * deg_col)` (GCN-style symmetric
     /// normalization on the bipartite graph), where degrees count stored
-    /// entries.
+    /// entries. Large matrices scale on the shared worker pool with
+    /// bitwise-identical results at every thread count.
     pub fn sym_normalized(&self) -> Csr {
-        let mut row_deg = vec![0.0f32; self.rows];
+        self.sym_normalized_with(auto_build_threads(self.nnz()))
+    }
+
+    /// [`Csr::sym_normalized`] on an explicit number of threads.
+    pub fn sym_normalized_with(&self, threads: usize) -> Csr {
         let mut col_deg = vec![0.0f32; self.cols];
-        for (r, c, _) in self.iter() {
-            row_deg[r as usize] += 1.0;
+        for &c in &self.indices {
             col_deg[c as usize] += 1.0;
         }
         let mut out = self.clone();
-        for (r, &rd) in row_deg.iter().enumerate() {
-            let (s, e) = (out.indptr[r], out.indptr[r + 1]);
-            for i in s..e {
-                let c = out.indices[i] as usize;
-                let denom = (rd * col_deg[c]).sqrt();
-                if denom != 0.0 {
-                    out.values[i] /= denom;
+        let (indptr, indices, values) = (&out.indptr, &out.indices, &mut out.values);
+        par::for_each_span_chunk(values, indptr, threads, |range, chunk| {
+            let offset = indptr[range.start];
+            for r in range {
+                let (s, e) = (indptr[r], indptr[r + 1]);
+                let rd = (e - s) as f32;
+                for i in s..e {
+                    let denom = (rd * col_deg[indices[i] as usize]).sqrt();
+                    if denom != 0.0 {
+                        chunk[i - offset] /= denom;
+                    }
                 }
             }
-        }
+        });
         out
     }
 

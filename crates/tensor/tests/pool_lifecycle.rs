@@ -1,0 +1,244 @@
+//! Lifecycle tests for the persistent worker pool and property tests
+//! for `par::partition`.
+//!
+//! The pool is process-global, so every test that observes or mutates
+//! its size serializes on [`POOL_LOCK`] — tests in this binary may run
+//! on parallel test threads, and worker counts would otherwise race.
+//! (Other test binaries run as separate processes with their own
+//! pools.)
+
+use std::sync::Mutex;
+
+use gnmr_tensor::{kernels, par, Coo, Csr, Matrix};
+use proptest::prelude::*;
+
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+proptest! {
+    #[test]
+    fn partition_invariants(rows in 0usize..5000, parts in 0usize..64) {
+        let ranges = par::partition(rows, parts);
+        // Empty input -> no ranges at all (not a spurious 0..0 chunk).
+        if rows == 0 {
+            prop_assert!(ranges.is_empty());
+            return Ok(());
+        }
+        // Never more ranges than rows or than requested parts.
+        prop_assert!(ranges.len() <= rows);
+        prop_assert!(ranges.len() <= parts.max(1));
+        // Contiguous, disjoint, covering 0..rows in order.
+        let mut next = 0;
+        for r in &ranges {
+            prop_assert_eq!(r.start, next, "gap or overlap at {:?}", r);
+            prop_assert!(r.end > r.start, "empty range {:?}", r);
+            next = r.end;
+        }
+        prop_assert_eq!(next, rows);
+        // Balanced within one row.
+        let min = ranges.iter().map(|r| r.len()).min().unwrap();
+        let max = ranges.iter().map(|r| r.len()).max().unwrap();
+        prop_assert!(max - min <= 1, "unbalanced: min {} max {}", min, max);
+    }
+
+    #[test]
+    fn span_chunks_match_serial(widths in proptest::collection::vec(0usize..5, 0..40),
+                                threads in 1usize..6) {
+        // Build an indptr-style span table from random row widths and
+        // check the parallel visit writes exactly what the serial one
+        // does.
+        let _g = lock();
+        let mut spans = vec![0usize];
+        for w in &widths {
+            spans.push(spans.last().unwrap() + w);
+        }
+        let total = *spans.last().unwrap();
+        let fill = |data: &mut [u32], t: usize| {
+            par::for_each_span_chunk(data, &spans, t, |range, chunk| {
+                let offset = spans[range.start];
+                for r in range {
+                    for v in &mut chunk[spans[r] - offset..spans[r + 1] - offset] {
+                        *v += r as u32 + 1;
+                    }
+                }
+            });
+        };
+        let mut serial = vec![0u32; total];
+        fill(&mut serial, 1);
+        let mut parallel = vec![0u32; total];
+        fill(&mut parallel, threads);
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn csr_construction_matches_serial(
+        (rows, cols, entries) in (1usize..20, 1usize..20).prop_flat_map(|(r, c)| {
+            let entry = (0..r as u32, 0..c as u32, -3.0f32..3.0).prop_map(|(a, b, v)| (a, b, v));
+            (Just(r), Just(c), proptest::collection::vec(entry, 0..200))
+        }),
+    ) {
+        // Parallel CSR construction must sum duplicates in insertion
+        // order — bitwise equal to the serial stable-sort reference.
+        let _g = lock();
+        let reference = Csr::from_triplets_with(rows, cols, &entries, 1);
+        for threads in [2usize, 3, 4] {
+            let got = Csr::from_triplets_with(rows, cols, &entries, threads);
+            prop_assert_eq!(&got, &reference, "threads={}", threads);
+        }
+        let mut coo = Coo::new(rows, cols);
+        for &(r, c, v) in &entries {
+            coo.push(r, c, v);
+        }
+        prop_assert_eq!(coo.to_csr_with(4), reference);
+    }
+
+    #[test]
+    fn csr_normalization_matches_serial(
+        (rows, cols, entries) in (1usize..16, 1usize..16).prop_flat_map(|(r, c)| {
+            let entry = (0..r as u32, 0..c as u32, 0.1f32..3.0).prop_map(|(a, b, v)| (a, b, v));
+            (Just(r), Just(c), proptest::collection::vec(entry, 0..120))
+        }),
+        threads in 2usize..5,
+    ) {
+        let _g = lock();
+        let csr = Csr::from_triplets(rows, cols, &entries);
+        prop_assert_eq!(csr.row_normalized_with(threads), csr.row_normalized_with(1));
+        prop_assert_eq!(csr.sym_normalized_with(threads), csr.sym_normalized_with(1));
+    }
+}
+
+#[test]
+fn hundred_calls_reuse_one_pool() {
+    // One pool instance must survive (and stay correct across) many
+    // dispatches: reuse/teardown bugs — stale queue entries, lost
+    // wakeups, worker leakage — show up as wrong bytes or a hang here.
+    let _g = lock();
+    let a = Matrix::from_fn(37, 53, |r, c| ((r * 13 + c * 31) as f32 * 0.017).sin());
+    let b = Matrix::from_fn(53, 29, |r, c| ((r * 7 + c * 11) as f32 * 0.029).cos());
+    let reference = kernels::matmul_serial(&a, &b);
+    let _ = kernels::matmul_with(&a, &b, 4); // warm: pool exists hereafter
+    let workers_before = par::pool_workers();
+    for call in 0..100 {
+        let got = kernels::matmul_with(&a, &b, 4);
+        assert_eq!(got.data(), reference.data(), "call {call} diverged");
+    }
+    assert_eq!(par::pool_workers(), workers_before, "pool leaked or lost workers across calls");
+}
+
+#[test]
+fn pool_resizes_with_set_threads() {
+    let _g = lock();
+    let a = Matrix::from_fn(24, 8, |r, c| (r + c) as f32);
+    let b = Matrix::from_fn(8, 6, |r, c| (r * c) as f32);
+    let reference = kernels::matmul_with(&a, &b, 1);
+
+    // Normalize: if an earlier test grew the pool past 3 workers, this
+    // shrinks it; if the pool does not exist yet, it is a no-op and the
+    // dispatch below lazily spawns exactly the workers it needs (the
+    // caller itself runs one chunk).
+    par::set_threads(Some(4));
+    assert_eq!(kernels::matmul_with(&a, &b, 4).data(), reference.data());
+    assert_eq!(par::pool_workers(), 3);
+
+    // Shrinks retire and join surplus workers immediately...
+    par::set_threads(Some(2));
+    assert_eq!(par::pool_workers(), 1);
+    // ...and the shrunken pool still computes the right bytes.
+    assert_eq!(kernels::matmul_with(&a, &b, 2).data(), reference.data());
+    assert_eq!(par::pool_workers(), 1, "a 2-chunk dispatch must not grow a 1-worker pool");
+
+    // An explicit wider dispatch grows the pool on demand...
+    assert_eq!(kernels::matmul_with(&a, &b, 4).data(), reference.data());
+    assert_eq!(par::pool_workers(), 3);
+
+    // ...and so does raising the configured count once the pool exists.
+    par::set_threads(Some(2));
+    assert_eq!(par::pool_workers(), 1);
+    par::set_threads(Some(4));
+    assert_eq!(par::pool_workers(), 3);
+
+    par::set_threads(None);
+    assert_eq!(kernels::matmul_with(&a, &b, 2).data(), reference.data());
+}
+
+#[test]
+fn nested_parallel_calls_run_inline_and_match() {
+    // A chunk closure that itself dispatches must neither deadlock nor
+    // change bytes: nested calls run inline on the worker.
+    let _g = lock();
+    let rows = 32;
+    let width = 16;
+    let mut nested = vec![0u32; rows * width];
+    par::for_each_row_chunk(&mut nested, rows, 4, |range, chunk| {
+        let local_rows = range.len();
+        par::for_each_row_chunk(chunk, local_rows, 4, |inner, inner_chunk| {
+            for (local, r) in inner.enumerate() {
+                let global = range.start + r;
+                for v in &mut inner_chunk[local * width..(local + 1) * width] {
+                    *v = global as u32 * 7 + 1;
+                }
+            }
+        });
+    });
+    let mut serial = vec![0u32; rows * width];
+    for r in 0..rows {
+        for v in &mut serial[r * width..(r + 1) * width] {
+            *v = r as u32 * 7 + 1;
+        }
+    }
+    assert_eq!(nested, serial);
+}
+
+#[test]
+fn concurrent_resize_and_dispatch_do_not_hang() {
+    // Regression test: retirement is by token, not worker identity. An
+    // id-based scheme deadlocks here — a shrink waits on a specific
+    // worker while a concurrent dispatch re-raises the target, so that
+    // worker never observes retirement. Tokens are counted, any worker
+    // can acknowledge one, and grows cancel pending tokens, so this
+    // must run to completion at every interleaving.
+    let _g = lock();
+    let a = Matrix::from_fn(40, 24, |r, c| ((r * 5 + c) as f32 * 0.03).sin());
+    let b = Matrix::from_fn(24, 16, |r, c| ((r + 7 * c) as f32 * 0.04).cos());
+    let reference = kernels::matmul_serial(&a, &b);
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            scope.spawn(|| {
+                for i in 0..40 {
+                    par::set_threads(Some(1 + (i % 4)));
+                }
+            });
+        }
+        for _ in 0..2 {
+            scope.spawn(|| {
+                for _ in 0..40 {
+                    assert_eq!(kernels::matmul_with(&a, &b, 4).data(), reference.data());
+                }
+            });
+        }
+    });
+    par::set_threads(None);
+}
+
+#[test]
+fn pool_survives_concurrent_dispatchers() {
+    // Several caller threads sharing the one pool must each get their
+    // own correct results (jobs are independent; notifications are
+    // advisory).
+    let _g = lock();
+    let a = Matrix::from_fn(48, 32, |r, c| ((r * 3 + c) as f32 * 0.05).sin());
+    let b = Matrix::from_fn(32, 24, |r, c| ((r + 5 * c) as f32 * 0.07).cos());
+    let reference = kernels::matmul_serial(&a, &b);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for _ in 0..25 {
+                    assert_eq!(kernels::matmul_with(&a, &b, 3).data(), reference.data());
+                }
+            });
+        }
+    });
+}
