@@ -486,10 +486,12 @@ impl Graph {
                 vec![(*a, da)]
             }
             Op::GatherRows(a, indices) => {
-                // Scatter-add via the kernel layer: destination rows are
-                // partitioned across the shared pool, so large embedding
-                // tables accumulate their gradients in parallel with the
-                // same per-row order (and bytes) as the serial loop.
+                // Scatter-add via the kernel layer: updates are bucketed
+                // by destination row and the chunk plan is update-count
+                // weighted (work-stealing when one hot embedding row
+                // draws most of the gradient traffic), so large tables
+                // accumulate in parallel with the same per-row order
+                // (and bytes) as the serial loop.
                 let (r, c) = self.shape(*a);
                 let mut da = Matrix::zeros(r, c);
                 kernels::scatter_add_rows(&mut da, indices, g);

@@ -46,36 +46,58 @@ struct Record {
     speedup_vs_serial: f64,
 }
 
-/// Times `f`, returning ns/iter: a short warmup, then enough iterations
-/// to cover [`TARGET_MS`] (at least 5).
-fn time_ns(mut f: impl FnMut()) -> u128 {
-    let target = TARGET.load(std::sync::atomic::Ordering::Relaxed) as u128;
-    for _ in 0..2 {
-        f();
-    }
+/// Number of interleaved measurement rounds per op (see [`time_ns`]).
+const ROUNDS: u128 = 3;
+
+/// Times one measurement block of `f`: at least `block_ms` wall-clock
+/// and 5 iterations, returning ns/iter. Callers take the **minimum**
+/// over [`ROUNDS`] interleaved blocks per variant: on a shared
+/// container the noise is strictly additive (preemption, migrated
+/// caches), so the fastest block is the closest estimate of the
+/// kernel's true cost.
+fn time_block(f: &mut impl FnMut(), block_ms: u128) -> u128 {
     let start = Instant::now();
     let mut iters = 0u128;
-    while start.elapsed().as_millis() < target || iters < 5 {
+    while start.elapsed().as_millis() < block_ms || iters < 5 {
         f();
         iters += 1;
     }
     start.elapsed().as_nanos() / iters.max(1)
 }
 
-/// Measures one op: the serial reference, then the `*_with` entry point
-/// at each thread count. `one_thread_label` names the threads==1 cell
-/// honestly — "tiled" only where a distinct tiled code path exists
-/// (dense matmul); elsewhere the one-thread cell re-runs the serial
-/// loop inline and is labeled "serial_1t".
+/// Measures one op: the serial reference and the `*_with` entry point
+/// at each thread count, **interleaved** — every variant gets one
+/// measurement block per round, and each variant's minimum across
+/// rounds is recorded. Interleaving matters on a noisy shared
+/// container: a load spike then inflates every variant of the op
+/// equally instead of whichever single cell was being timed, so the
+/// speedup ratios stay meaningful even when absolute ns drift between
+/// runs. `one_thread_label` names the threads==1 cell honestly —
+/// "tiled" only where a distinct tiled code path exists (dense
+/// matmul); elsewhere the one-thread cell re-runs the serial loop
+/// inline and is labeled "serial_1t".
 fn push_cells(
     records: &mut Vec<Record>,
     op: &'static str,
     shape: String,
     one_thread_label: &'static str,
-    serial: impl FnMut(),
+    mut serial: impl FnMut(),
     mut parallel: impl FnMut(usize),
 ) {
-    let serial_ns = time_ns(serial);
+    let target = TARGET.load(std::sync::atomic::Ordering::Relaxed) as u128;
+    let block_ms = (target / ROUNDS).max(1);
+    serial();
+    for &t in &THREAD_COUNTS {
+        parallel(t);
+    }
+    let mut best = vec![u128::MAX; 1 + THREAD_COUNTS.len()];
+    for _ in 0..ROUNDS {
+        best[0] = best[0].min(time_block(&mut serial, block_ms));
+        for (slot, &t) in THREAD_COUNTS.iter().enumerate() {
+            best[1 + slot] = best[1 + slot].min(time_block(&mut || parallel(t), block_ms));
+        }
+    }
+    let serial_ns = best[0];
     records.push(Record {
         op,
         shape: shape.clone(),
@@ -84,8 +106,8 @@ fn push_cells(
         ns_per_iter: serial_ns,
         speedup_vs_serial: 1.0,
     });
-    for &threads in &THREAD_COUNTS {
-        let ns = time_ns(|| parallel(threads));
+    for (slot, &threads) in THREAD_COUNTS.iter().enumerate() {
+        let ns = best[1 + slot];
         records.push(Record {
             op,
             shape: shape.clone(),
@@ -102,6 +124,32 @@ fn random_csr(rows: usize, cols: usize, nnz: usize, seed: u64) -> Csr {
     let triplets: Vec<(u32, u32, f32)> = (0..nnz)
         .map(|_| (r.gen_range(0..rows as u32), r.gen_range(0..cols as u32), r.gen_range(-1.0..1.0)))
         .collect();
+    Csr::from_triplets(rows, cols, &triplets)
+}
+
+/// A power-law CSR in the shape the cost model exists for: one hub row
+/// owns ~90% of the stored entries (distinct columns via a coprime
+/// stride, so duplicate-summing cannot dilute the hub), and the light
+/// rows draw their columns log-uniformly so column degrees are
+/// Zipf-like too (hub items on a Taobao-style graph). Static row
+/// partitioning serializes on the hub; the weighted stealing plan is
+/// what these bench rows measure.
+fn skewed_csr(rows: usize, cols: usize, nnz: usize, seed: u64) -> Csr {
+    let mut r = rng::seeded(seed);
+    let hub = r.gen_range(0..rows as u32);
+    let hub_n = nnz * 9 / 10;
+    assert!(cols > hub_n, "hub row cannot hold {hub_n} distinct columns in {cols}");
+    let stride = 7919usize; // prime, coprime with the column counts used below
+    let mut triplets: Vec<(u32, u32, f32)> = (0..hub_n)
+        .map(|i| (hub, ((i * stride) % cols) as u32, r.gen_range(-1.0..1.0)))
+        .collect();
+    for _ in hub_n..nnz {
+        let row = r.gen_range(0..rows as u32);
+        // exp(u * ln(cols)) is log-uniform on [1, cols): density ~ 1/c.
+        let u: f32 = r.gen_range(0.0..1.0);
+        let col = (((cols as f32).ln() * u).exp() as u32).saturating_sub(1).min(cols as u32 - 1);
+        triplets.push((row, col, r.gen_range(-1.0..1.0)));
+    }
     Csr::from_triplets(rows, cols, &triplets)
 }
 
@@ -136,7 +184,98 @@ fn to_json(records: &[Record], preserved: &[String]) -> String {
     format!("[\n{}\n]", lines.join(",\n"))
 }
 
+/// Extracts the `ns_per_iter` number from one archived JSON row.
+fn parse_ns(line: &str) -> Option<u128> {
+    let key = "\"ns_per_iter\": ";
+    let rest = &line[line.find(key)? + key.len()..];
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// `--regression-gate`: re-measures the `dispatch` cells (the
+/// sub-millisecond kernel that isolates per-call pool handoff cost)
+/// and fails with exit code 1 if dispatch overhead at 2 threads —
+/// `ns(parallel2) - ns(tiled)`, both cells running the identical
+/// tiled kernel so the difference is purely scheduler bookkeeping —
+/// regressed more than 25% against the committed rows in
+/// `results/bench_kernels.json`, plus a 10µs absolute floor (see the
+/// budget computation below) so machine-class differences and jitter
+/// on shared CI runners cannot trip the gate. The archive is left
+/// untouched. Run by CI under `GNMR_THREADS=2`.
+fn regression_gate() -> ! {
+    let path = results_dir().join("bench_kernels.json");
+    let content = match std::fs::read_to_string(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("regression gate: cannot read baseline {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let cell = |variant: &str| -> Option<u128> {
+        let tag = format!("\"variant\": \"{variant}\"");
+        content
+            .lines()
+            .find(|l| l.contains("\"op\": \"dispatch\"") && l.contains(&tag))
+            .and_then(parse_ns)
+    };
+    // The dispatch op's one-thread cell is archived as "tiled" (same
+    // code path as parallel2 minus the dispatch), so the difference is
+    // purely scheduler bookkeeping.
+    let (Some(base_serial), Some(base_par2)) = (cell("tiled"), cell("parallel2")) else {
+        eprintln!("regression gate: baseline dispatch rows missing from {}", path.display());
+        std::process::exit(1);
+    };
+    let (dm, dk, dn) = (72usize, 32, 32);
+    let da = init::uniform(dm, dk, -1.0, 1.0, &mut rng::seeded(7));
+    let db = init::uniform(dk, dn, -1.0, 1.0, &mut rng::seeded(8));
+    // Interleaved min-of-rounds, same rationale as push_cells: a load
+    // spike on a shared runner must inflate both cells, not whichever
+    // one happened to be mid-measurement — this gate blocks CI.
+    let target = TARGET.load(std::sync::atomic::Ordering::Relaxed) as u128;
+    let block_ms = (target / ROUNDS).max(1);
+    let mut one = || {
+        black_box(kernels::matmul_with(&da, &db, 1));
+    };
+    let mut two = || {
+        black_box(kernels::matmul_with(&da, &db, 2));
+    };
+    one();
+    two();
+    let (mut serial_ns, mut par2_ns) = (u128::MAX, u128::MAX);
+    for _ in 0..ROUNDS {
+        serial_ns = serial_ns.min(time_block(&mut one, block_ms));
+        par2_ns = par2_ns.min(time_block(&mut two, block_ms));
+    }
+    let base_overhead = base_par2.saturating_sub(base_serial);
+    let fresh_overhead = par2_ns.saturating_sub(serial_ns);
+    // The committed baseline may come from a different machine class
+    // than the runner: on a 1-CPU container the oversubscription guard
+    // wakes no worker at all (overhead is a few hundred ns of
+    // bookkeeping), while a real multi-core runner pays a genuine
+    // condvar wake + cross-core handoff of a few microseconds per
+    // call. The 10µs absolute floor absorbs that machine-class gap and
+    // run-to-run jitter while still catching the regression class this
+    // gate exists for — reintroduced per-call thread spawns were
+    // +18µs/+46µs (see the archived scoped_spawn rows).
+    let budget = base_overhead + base_overhead / 4 + 10_000;
+    println!(
+        "dispatch overhead gate: baseline {base_overhead}ns (serial {base_serial}, parallel2 {base_par2}), \
+         fresh {fresh_overhead}ns (serial {serial_ns}, parallel2 {par2_ns}), budget {budget}ns"
+    );
+    if fresh_overhead > budget {
+        eprintln!(
+            "regression gate FAILED: dispatch overhead at 2 threads grew past 125% of baseline (+10us floor)"
+        );
+        std::process::exit(1);
+    }
+    println!("regression gate passed");
+    std::process::exit(0);
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--regression-gate") {
+        regression_gate();
+    }
     let smoke = std::env::args().any(|a| a == "--quick-smoke");
     if smoke {
         TARGET.store(SMOKE_MS as u64, std::sync::atomic::Ordering::Relaxed);
@@ -161,7 +300,10 @@ fn main() {
         &mut records,
         "dispatch",
         format!("{dm}x{dk}x{dn}"),
-        "serial_1t",
+        // 72x32x32 = 73,728 multiply-adds sits just above PAR_MIN_WORK,
+        // so the one-thread `*_with` cell runs the tiled microkernel,
+        // not the plain serial reference — label it honestly.
+        "tiled",
         || {
             black_box(kernels::matmul_serial(&da, &db));
         },
@@ -230,6 +372,42 @@ fn main() {
         },
         |t| {
             black_box(kernels::spmm_t_with(&csr, &dense, t));
+        },
+    );
+
+    // The same two ops on a power-law graph (one hub row with ~90% of
+    // the nnz, Zipf-ish columns): the shape where static row chunks
+    // serialize on the hub and the cost model switches to nnz-weighted
+    // work-stealing plans. The transposed kernel additionally streams
+    // the cached column-major index here instead of binary-searching
+    // every row per chunk, so its parallel cells should no longer
+    // trail serial even at 2 threads.
+    let skew = skewed_csr(8000, 40_000, 40_000, 9);
+    skew.prewarm_spmm_t(); // the index is per-matrix and amortized in training; keep it out of the cells
+    let skew_x = init::uniform(40_000, 64, -1.0, 1.0, &mut rng::seeded(10));
+    let skew_xt = init::uniform(8000, 64, -1.0, 1.0, &mut rng::seeded(11));
+    push_cells(
+        &mut records,
+        "spmm_skew",
+        format!("{}nnz(hub90)*40000x64", skew.nnz()),
+        "serial_1t",
+        || {
+            black_box(kernels::spmm_serial(&skew, &skew_x));
+        },
+        |t| {
+            black_box(kernels::spmm_with(&skew, &skew_x, t));
+        },
+    );
+    push_cells(
+        &mut records,
+        "spmm_t_skew",
+        format!("{}nnz(hub90)^T*8000x64", skew.nnz()),
+        "serial_1t",
+        || {
+            black_box(kernels::spmm_t_serial(&skew, &skew_xt));
+        },
+        |t| {
+            black_box(kernels::spmm_t_with(&skew, &skew_xt, t));
         },
     );
 

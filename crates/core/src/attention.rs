@@ -177,4 +177,42 @@ mod tests {
         });
         assert!(err < 1e-2, "err {err}");
     }
+
+    #[test]
+    fn gradients_check_out_on_parallel_kernel_routes() {
+        // Same finite-difference check, but with the kernel work
+        // threshold floored and three threads configured, so every
+        // matmul / transpose-matmul / gradient accumulation in the
+        // attention forward AND backward pass crosses the pool's
+        // parallel (and, where the cost model picks it, stealing)
+        // code paths instead of the small-shape serial fallback. The
+        // globals are process-wide, so the test serializes on the
+        // crate-wide config lock and restores them even on failure —
+        // determinism guarantees the bytes (and thus the gradcheck
+        // verdict) cannot depend on these settings; what this test
+        // adds is coverage that the parallel backward actually
+        // computes correct gradients end to end.
+        let _config = crate::PAR_CONFIG_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        gnmr_tensor::kernels::set_min_work(Some(1));
+        gnmr_tensor::par::set_threads(Some(3));
+        let result = std::panic::catch_unwind(|| {
+            let c = GnmrConfig { dim: 8, heads: 2, double_residual: true, ..GnmrConfig::default() };
+            let mut store = ParamStore::new();
+            register(&mut store, &mut seeded(17), "att", &c);
+            store.insert("h0", init::uniform(5, 8, -1.0, 1.0, &mut seeded(18)));
+            store.insert("h1", init::uniform(5, 8, -1.0, 1.0, &mut seeded(19)));
+            store.insert("h2", init::uniform(5, 8, -1.0, 1.0, &mut seeded(20)));
+            max_grad_error(&store, 5e-3, |ctx| {
+                let hs = [ctx.param("h0"), ctx.param("h1"), ctx.param("h2")];
+                let outs = apply(ctx, "att", &hs, &c);
+                let cat = ctx.g.concat_cols(&outs);
+                let sq = ctx.g.sqr(cat);
+                ctx.g.mean(sq)
+            })
+        });
+        gnmr_tensor::kernels::set_min_work(None);
+        gnmr_tensor::par::set_threads(None);
+        let err = result.unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        assert!(err < 1e-2, "err {err}");
+    }
 }

@@ -12,19 +12,34 @@
 //! * `*_with` — explicit thread count (used by the equivalence tests
 //!   and benches);
 //! * the bare name — resolves the thread count from [`crate::par`] and
-//!   falls back to the serial path below [`PAR_MIN_WORK`].
+//!   falls back to the serial path below [`min_work`] (default
+//!   [`PAR_MIN_WORK`]).
+//!
+//! # Cost-model dispatch
+//!
+//! Sparse kernels (`spmm`, `spmm_t`, scatter-add, CSR normalization /
+//! construction) no longer assume rows are equally expensive. Each
+//! parallel call plans its chunks from the actual entry counts
+//! ([`span_plan`]): uniform work keeps the historical static row
+//! partition, while a skewed distribution (one hub user owning most of
+//! a behavior's interactions — the normal case on power-law graphs)
+//! switches to nnz-balanced chunks executed under the work-stealing
+//! schedule ([`par::Schedule::Stealing`]). The plan decides who
+//! computes which rows and when — never what the bytes are.
 //!
 //! # Determinism
 //!
 //! Every parallel kernel partitions *output rows* across workers and
 //! accumulates into each output element in exactly the serial order
 //! (increasing inner index). Results are therefore bitwise identical to
-//! the serial reference at every thread count.
+//! the serial reference at every thread count and under either
+//! schedule.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use crate::dense::Matrix;
-use crate::par;
+use crate::par::{self, Schedule};
 use crate::sparse::Csr;
 
 /// Work threshold (in multiply-add units) below which kernels stay on
@@ -33,6 +48,80 @@ use crate::sparse::Csr;
 /// the old per-call thread spawn, but not free), so only kernels with
 /// enough arithmetic to amortize it go parallel.
 pub const PAR_MIN_WORK: usize = 64 * 1024;
+
+/// Override for the parallel work threshold; 0 means "use
+/// [`PAR_MIN_WORK`]".
+static MIN_WORK_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets (or with `None` clears) the parallel work threshold the
+/// auto-dispatch entry points compare against. `Some(1)` (the floor —
+/// `Some(0)` is clamped to it) forces every kernel through the
+/// parallel/stealing routes regardless of size, which is how the
+/// equivalence and gradcheck suites exercise those routes on
+/// test-sized shapes; real tuning would raise or lower the threshold a
+/// few binary orders of magnitude around the default.
+pub fn set_min_work(threshold: Option<usize>) {
+    MIN_WORK_OVERRIDE.store(threshold.map_or(0, |t| t.max(1)), Ordering::Relaxed);
+}
+
+/// The active parallel work threshold ([`PAR_MIN_WORK`] unless
+/// overridden via [`set_min_work`]).
+pub fn min_work() -> usize {
+    let o = MIN_WORK_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 { o } else { PAR_MIN_WORK }
+}
+
+// ----- cost-model chunk planning --------------------------------------
+
+/// How many chunks per thread the stealing schedule cuts. Finer chunks
+/// smooth skew better but each costs one deque pop; 4 per thread keeps
+/// the worst static-vs-stealing overhead within noise on uniform work
+/// while letting three threads absorb a hub chunk's neighbors.
+const STEAL_CHUNKS_PER_THREAD: usize = 4;
+
+/// Heaviest-static-chunk-to-ideal ratio above which span-weighted
+/// stealing replaces static row partitioning. At 1.25 a uniform random
+/// CSR (whose chunk weights concentrate tightly around the mean) stays
+/// on the cheap static path, while any power-law row distribution
+/// trips the weighted plan.
+const SKEW_RATIO: f64 = 1.25;
+
+/// Plans parallel chunks for a span-weighted workload (`spans` is a
+/// CSR `indptr`-style table: row `r` weighs `spans[r+1] - spans[r]`).
+///
+/// Uniform work gets the historical static row partition (cheapest to
+/// plan, zero stealing overhead). If balancing rows would hand one
+/// chunk more than [`SKEW_RATIO`] times the ideal weight, the plan
+/// switches to entry-balanced chunks, cut [`STEAL_CHUNKS_PER_THREAD`]×
+/// finer than the thread count, under the stealing schedule. Either
+/// way every row belongs to exactly one chunk, so the plan never
+/// affects the bytes produced — only who computes them when.
+pub(crate) fn span_plan(spans: &[usize], threads: usize) -> (Vec<Range<usize>>, Schedule) {
+    let rows = spans.len().saturating_sub(1);
+    let static_ranges = par::partition(rows, threads);
+    if static_ranges.len() <= 1 {
+        return (static_ranges, Schedule::Static);
+    }
+    let total = spans[rows] - spans[0];
+    if total == 0 {
+        return (static_ranges, Schedule::Static);
+    }
+    let ideal = total as f64 / static_ranges.len() as f64;
+    let heaviest =
+        static_ranges.iter().map(|r| spans[r.end] - spans[r.start]).max().unwrap_or(0) as f64;
+    if heaviest <= ideal * SKEW_RATIO {
+        return (static_ranges, Schedule::Static);
+    }
+    // Chunk granularity scales with the parallelism the machine can
+    // actually deliver: fine chunks only pay off when they can land on
+    // distinct cores, while on an oversubscribed box (threads beyond
+    // hardware) each extra chunk boundary is one more context switch
+    // for zero concurrency. hw == 1 therefore degenerates to one
+    // weighted chunk per thread — still nnz-balanced, still stealable.
+    let granularity = STEAL_CHUNKS_PER_THREAD.min(par::hardware_threads());
+    let chunks = threads.saturating_mul(granularity);
+    (par::partition_weighted(spans, chunks), Schedule::Stealing)
+}
 
 /// Column-block width of the tiled dense matmul: one output block row
 /// (`TILE_J` f32s) stays resident while a `TILE_K x TILE_J` panel of the
@@ -47,10 +136,10 @@ const TILE_J: usize = 512;
 const TILE_K: usize = 64;
 
 /// Resolves the thread count for a kernel invocation: serial below
-/// [`PAR_MIN_WORK`], otherwise the shared [`par::num_threads`] config.
+/// [`min_work`], otherwise the shared [`par::num_threads`] config.
 #[inline]
 fn auto_threads(work: usize) -> usize {
-    if work < PAR_MIN_WORK {
+    if work < min_work() {
         1
     } else {
         par::num_threads()
@@ -127,9 +216,19 @@ fn matmul_rows_serial(a: &[f32], k: usize, b: &[f32], n: usize, rows: Range<usiz
     }
 }
 
+/// Row-block height of the register-blocked matmul microkernel: four
+/// output rows advance together through a k-block, so each loaded
+/// right-hand-side panel row is reused four times from registers
+/// instead of re-read per output row.
+const MICRO_MR: usize = 4;
+
 /// Cache-blocked variant of [`matmul_rows_serial`]: identical
-/// accumulation order per output element (k-blocks advance in k order),
-/// so results are bitwise equal to the serial reference.
+/// accumulation order per output element (k-blocks advance in k order,
+/// one add per k step straight into the output row), so results are
+/// bitwise equal to the serial reference. Inside each block a 4×
+/// row-unrolled microkernel (see [`MICRO_MR`]) shares every `b` panel
+/// row across four output rows; leftover rows fall back to the plain
+/// single-row loop, which accumulates in the same order.
 fn matmul_rows_tiled(a: &[f32], k: usize, b: &[f32], n: usize, rows: Range<usize>, out: &mut [f32]) {
     let mut k0 = 0;
     while k0 < k {
@@ -137,7 +236,37 @@ fn matmul_rows_tiled(a: &[f32], k: usize, b: &[f32], n: usize, rows: Range<usize
         let mut j0 = 0;
         while j0 < n {
             let j1 = (j0 + TILE_J).min(n);
-            for (local, i) in rows.clone().enumerate() {
+            let mut local = 0usize;
+            let nrows = rows.len();
+            while local + MICRO_MR <= nrows {
+                let i = rows.start + local;
+                // Four disjoint output-row slices of the block's columns.
+                let (r0, rest) = out[local * n..].split_at_mut(n);
+                let (r1, rest) = rest.split_at_mut(n);
+                let (r2, r3) = rest.split_at_mut(n);
+                let o0 = &mut r0[j0..j1];
+                let o1 = &mut r1[j0..j1];
+                let o2 = &mut r2[j0..j1];
+                let o3 = &mut r3[j0..j1];
+                for kk in k0..k1 {
+                    let a0 = a[i * k + kk];
+                    let a1 = a[(i + 1) * k + kk];
+                    let a2 = a[(i + 2) * k + kk];
+                    let a3 = a[(i + 3) * k + kk];
+                    let brow = &b[kk * n + j0..kk * n + j1];
+                    for ((((&bv, o0), o1), o2), o3) in
+                        brow.iter().zip(&mut *o0).zip(&mut *o1).zip(&mut *o2).zip(&mut *o3)
+                    {
+                        *o0 += a0 * bv;
+                        *o1 += a1 * bv;
+                        *o2 += a2 * bv;
+                        *o3 += a3 * bv;
+                    }
+                }
+                local += MICRO_MR;
+            }
+            for local in local..nrows {
+                let i = rows.start + local;
                 let arow = &a[i * k + k0..i * k + k1];
                 let orow = &mut out[local * n + j0..local * n + j1];
                 for (kk, &av) in arow.iter().enumerate() {
@@ -206,10 +335,29 @@ fn matmul_tn_rows(
     krows: Range<usize>,
     out: &mut [f32],
 ) {
+    // Accumulation runs over `i` in ascending order per output element
+    // (matching the serial reference); the 4× unroll shares each
+    // loaded `brow` across four adjacent output rows, whose `a`
+    // coefficients are adjacent columns of one `a` row.
     for i in 0..m {
         let arow = &a[i * k + krows.start..i * k + krows.end];
         let brow = &b[i * n..(i + 1) * n];
-        for (local, &av) in arow.iter().enumerate() {
+        let mut local = 0usize;
+        while local + MICRO_MR <= arow.len() {
+            let (a0, a1, a2, a3) = (arow[local], arow[local + 1], arow[local + 2], arow[local + 3]);
+            let (r0, rest) = out[local * n..].split_at_mut(n);
+            let (r1, rest) = rest.split_at_mut(n);
+            let (r2, r3) = rest.split_at_mut(n);
+            let o3 = &mut r3[..n];
+            for ((((&bv, o0), o1), o2), o3) in brow.iter().zip(r0).zip(r1).zip(r2).zip(o3) {
+                *o0 += a0 * bv;
+                *o1 += a1 * bv;
+                *o2 += a2 * bv;
+                *o3 += a3 * bv;
+            }
+            local += MICRO_MR;
+        }
+        for (local, &av) in arow.iter().enumerate().skip(local) {
             let orow = &mut out[local * n..(local + 1) * n];
             for (o, &bv) in orow.iter_mut().zip(brow) {
                 *o += av * bv;
@@ -256,17 +404,44 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     matmul_nt_with(a, b, auto_threads(a.rows() * a.cols() * b.rows()))
 }
 
+/// Each output element is an independent dot product accumulated in
+/// ascending `k` order; the 4×-unrolled body computes four adjacent
+/// output columns per pass so `arow` is re-read from registers/L1
+/// instead of streamed once per column. Per-element accumulation
+/// order is unchanged, so unrolled and remainder paths produce
+/// identical bytes.
 fn matmul_nt_rows(a: &[f32], k: usize, b: &[f32], p: usize, rows: Range<usize>, out: &mut [f32]) {
     for (local, i) in rows.enumerate() {
         let arow = &a[i * k..(i + 1) * k];
         let orow = &mut out[local * p..(local + 1) * p];
-        for (j, o) in orow.iter_mut().enumerate() {
+        let mut j = 0usize;
+        while j + MICRO_MR <= p {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let (mut acc0, mut acc1, mut acc2, mut acc3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for ((((&x, &y0), &y1), &y2), &y3) in
+                arow.iter().zip(b0).zip(b1).zip(b2).zip(b3)
+            {
+                acc0 += x * y0;
+                acc1 += x * y1;
+                acc2 += x * y2;
+                acc3 += x * y3;
+            }
+            orow[j] = acc0;
+            orow[j + 1] = acc1;
+            orow[j + 2] = acc2;
+            orow[j + 3] = acc3;
+            j += MICRO_MR;
+        }
+        for j in j..p {
             let brow = &b[j * k..(j + 1) * k];
             let mut acc = 0.0;
             for (&x, &y) in arow.iter().zip(brow) {
                 acc += x * y;
             }
-            *o = acc;
+            orow[j] = acc;
         }
     }
 }
@@ -295,12 +470,23 @@ pub fn spmm_serial(csr: &Csr, dense: &Matrix) -> Matrix {
 
 /// Sparse x dense product on an explicit number of threads (output rows
 /// are partitioned; each CSR row is consumed by exactly one worker).
+///
+/// The chunk plan comes from the cost model: uniform-degree matrices
+/// get static row chunks, skewed ones get nnz-balanced chunks under
+/// the work-stealing schedule — same bytes either way, because each
+/// output row is still produced by exactly one thread in the serial
+/// accumulation order.
 pub fn spmm_with(csr: &Csr, dense: &Matrix, threads: usize) -> Matrix {
     assert_spmm(csr, dense);
     let d = dense.cols();
     let mut out = Matrix::zeros(csr.rows(), d);
     let dd = dense.data();
-    par::for_each_row_chunk(out.data_mut(), csr.rows(), threads, |rows, chunk| {
+    if threads <= 1 || csr.rows() == 0 {
+        spmm_rows(csr, dd, d, 0..csr.rows(), out.data_mut());
+        return out;
+    }
+    let (ranges, schedule) = span_plan(csr.indptr(), threads);
+    par::for_each_row_chunk_ranges(out.data_mut(), csr.rows(), &ranges, threads, schedule, |rows, chunk| {
         spmm_rows(csr, dd, d, rows, chunk);
     });
     out
@@ -347,19 +533,86 @@ pub fn spmm_t_serial(csr: &Csr, dense: &Matrix) -> Matrix {
 
 /// `csr^T * dense` on an explicit number of threads.
 ///
-/// Output rows correspond to CSR *columns*; each worker owns a column
-/// range and, relying on CSR rows being column-sorted, binary-searches
-/// every row for the entries that scatter into its range. Writes are
-/// disjoint, so no reduction pass is needed and the accumulation order
-/// per output row matches the serial scatter exactly.
+/// Output rows correspond to CSR *columns*. The parallel path streams
+/// the matrix's lazily built column-major companion index
+/// ([`crate::sparse`]'s `CscIndex`): each output row is one contiguous
+/// entry span, so workers touch only their own columns' entries
+/// instead of binary-searching every CSR row per chunk — the
+/// duplicated row-scan cost that made the old kernel trail serial on
+/// scatter-heavy shapes. Chunks are column-nnz-balanced and scheduled
+/// for stealing when column degrees are skewed. Entries within a
+/// column are ordered by ascending CSR row, exactly the serial
+/// scatter's accumulation order, so results stay bitwise identical to
+/// [`spmm_t_serial`] at every thread count.
 pub fn spmm_t_with(csr: &Csr, dense: &Matrix, threads: usize) -> Matrix {
     assert_spmm_t(csr, dense);
     let d = dense.cols();
     let mut out = Matrix::zeros(csr.cols(), d);
     let dd = dense.data();
-    par::for_each_row_chunk(out.data_mut(), csr.cols(), threads, |crange, chunk| {
-        spmm_t_cols(csr, dd, d, crange, chunk);
-    });
+    // Plan and dispatch with the parallelism the call will actually
+    // get — the same count `Csr::prewarm_spmm_t` plans with, so the
+    // prewarm decision and the runtime schedule can never disagree.
+    let threads = par::effective_parallelism(threads);
+    // The serial scatter is the best single-thread algorithm (each CSR
+    // row's dense operand stays register/L1-resident), so it also
+    // serves any call the oversubscription guard will run on one
+    // thread anyway — the parallel-oriented kernels below only earn
+    // their different access patterns when threads actually run
+    // concurrently.
+    if threads <= 1 || csr.cols() == 0 || csr.nnz() == 0 {
+        spmm_t_cols(csr, dd, d, 0..csr.cols(), out.data_mut());
+        return out;
+    }
+    // Plan from the cheap column span table (O(cols), cached); the
+    // full O(nnz) column-major permutation is only materialized when
+    // the plan actually picks the streaming path below.
+    let (ranges, schedule) = span_plan(csr.col_spans(), threads);
+    match schedule {
+        // Near-uniform column degrees: the row-scanning kernel. Each
+        // chunk streams every CSR row once (sequential reads, binary
+        // search to its own column window), which at the static plan's
+        // low chunk count has better locality than column-major entry
+        // streaming and was never the shape that trailed serial.
+        Schedule::Static => {
+            par::for_each_row_chunk_ranges(out.data_mut(), csr.cols(), &ranges, threads, schedule, |crange, chunk| {
+                spmm_t_cols(csr, dd, d, crange, chunk);
+            });
+        }
+        // Skewed column degrees: stream the column-major index. Each
+        // output row is one contiguous entry span, so a hub column
+        // costs exactly its nnz — no per-chunk full row scans — and
+        // the nnz-weighted stealing chunks keep the hub from
+        // serializing the call.
+        Schedule::Stealing => {
+            if d == 0 {
+                return out;
+            }
+            let csc = csr.csc();
+            par::for_each_row_chunk_ranges(out.data_mut(), csr.cols(), &ranges, threads, schedule, |crange, chunk| {
+                // Running split cursors instead of per-column range
+                // slicing: on wide catalogs most columns hold zero or
+                // one entry, so per-column bookkeeping (not arithmetic)
+                // is what this loop mostly executes — keep it to one
+                // `split_at` per array per column.
+                let ptrs = &csc.col_ptr[crange.start..crange.end + 1];
+                let last = ptrs.len() - 1;
+                let mut rrows = &csc.rows[ptrs[0]..ptrs[last]];
+                let mut rvals = &csc.values[ptrs[0]..ptrs[last]];
+                for (orow, w) in chunk.chunks_exact_mut(d).zip(ptrs.windows(2)) {
+                    let take = w[1] - w[0];
+                    let (hr, tr) = rrows.split_at(take);
+                    let (hv, tv) = rvals.split_at(take);
+                    (rrows, rvals) = (tr, tv);
+                    for (&r, &v) in hr.iter().zip(hv) {
+                        let drow = &dd[r as usize * d..(r as usize + 1) * d];
+                        for (o, &x) in orow.iter_mut().zip(drow) {
+                            *o += v * x;
+                        }
+                    }
+                }
+            });
+        }
+    }
     out
 }
 
@@ -417,12 +670,18 @@ pub fn add_assign(dst: &mut Matrix, src: &Matrix) {
 }
 
 /// Scatter-add: `dst.row(indices[o]) += src.row(o)` for every `o`, on
-/// an explicit number of threads.
-///
-/// Workers own disjoint destination row ranges and each scans the index
-/// list for rows in its range, so duplicate indices accumulate in the
-/// serial order with no write races (this is the backward pass of
+/// an explicit number of threads (this is the backward pass of
 /// `gather_rows`).
+///
+/// The parallel path first buckets the source positions by destination
+/// row with a stable counting sort (O(indices + rows), once per call),
+/// so each worker touches only the updates landing in its own row
+/// range — the old kernel re-scanned the whole index list per chunk,
+/// which scaled with the thread count. Chunks are update-count
+/// balanced and stealing-scheduled when the index distribution is
+/// skewed (one hot embedding row drawing most updates). Duplicate
+/// indices accumulate in their original order (the counting sort is
+/// stable), so results are bitwise identical to the serial loop.
 ///
 /// # Panics
 /// If shapes disagree or any index is out of bounds.
@@ -435,16 +694,44 @@ pub fn scatter_add_rows_with(dst: &mut Matrix, indices: &[u32], src: &Matrix, th
     }
     let d = dst.cols();
     let sd = src.data();
-    par::for_each_row_chunk(dst.data_mut(), rows, threads, |range, chunk| {
+    if threads <= 1 || rows == 0 || indices.is_empty() {
+        // Serial reference: straight scatter in source order. Per
+        // destination row this is ascending source order — the same
+        // order the bucketed parallel path replays.
+        let dd = dst.data_mut();
         for (o, &idx) in indices.iter().enumerate() {
-            let idx = idx as usize;
-            if idx < range.start || idx >= range.end {
-                continue;
-            }
-            let orow = &mut chunk[(idx - range.start) * d..][..d];
+            let orow = &mut dd[idx as usize * d..(idx as usize + 1) * d];
             let srow = &sd[o * d..(o + 1) * d];
             for (x, &s) in orow.iter_mut().zip(srow) {
                 *x += s;
+            }
+        }
+        return;
+    }
+    // Bucket source positions by destination row, preserving source
+    // order within each bucket (stable counting sort).
+    let mut spans = vec![0usize; rows + 1];
+    for &idx in indices {
+        spans[idx as usize + 1] += 1;
+    }
+    for r in 0..rows {
+        spans[r + 1] += spans[r];
+    }
+    let mut order = vec![0u32; indices.len()];
+    let mut cursor = spans.clone();
+    for (o, &idx) in indices.iter().enumerate() {
+        order[cursor[idx as usize]] = o as u32;
+        cursor[idx as usize] += 1;
+    }
+    let (ranges, schedule) = span_plan(&spans, threads);
+    par::for_each_row_chunk_ranges(dst.data_mut(), rows, &ranges, threads, schedule, |range, chunk| {
+        for r in range.clone() {
+            let orow = &mut chunk[(r - range.start) * d..][..d];
+            for &o in &order[spans[r]..spans[r + 1]] {
+                let srow = &sd[o as usize * d..(o as usize + 1) * d];
+                for (x, &s) in orow.iter_mut().zip(srow) {
+                    *x += s;
+                }
             }
         }
     });

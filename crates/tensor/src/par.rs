@@ -95,6 +95,17 @@ pub fn set_threads(n: Option<usize>) {
     resize_pool(num_threads().saturating_sub(1));
 }
 
+/// Whether a programmatic [`set_threads`] override is active. An
+/// explicit override is an exact contract: dispatch honors it without
+/// the hardware-parallelism caps applied to implicit configuration
+/// (`GNMR_THREADS` / the default), both because the caller may know
+/// better than `available_parallelism` (cgroup misdetection) and so
+/// the cross-thread test suites exercise the full pool machinery on
+/// any machine.
+fn explicit_override() -> bool {
+    OVERRIDE.load(Ordering::Relaxed) > 0
+}
+
 fn env_threads() -> Option<usize> {
     *ENV_THREADS.get_or_init(|| {
         std::env::var(ENV_VAR).ok().and_then(|s| s.trim().parse::<usize>().ok()).filter(|&n| n > 0)
@@ -119,6 +130,21 @@ pub fn num_threads() -> usize {
 pub fn hardware_threads() -> usize {
     *HW_THREADS
         .get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// How many threads a dispatch requesting `threads` will actually run
+/// on once the oversubscription guard is applied: capped at
+/// [`hardware_threads`] under implicit configuration, exact when a
+/// programmatic [`set_threads`] override is active. Kernels use this
+/// to pick the right *algorithm* — a call that will execute on one
+/// thread should run the best serial kernel, not a parallel-oriented
+/// one minus its parallelism.
+pub fn effective_parallelism(threads: usize) -> usize {
+    if explicit_override() {
+        threads
+    } else {
+        threads.min(hardware_threads())
+    }
 }
 
 // ----- partitioning ---------------------------------------------------
@@ -146,6 +172,92 @@ pub fn partition(rows: usize, parts: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// Splits `0..spans.len() - 1` rows into at most `parts` contiguous
+/// ranges of approximately equal *weight*, where row `r` weighs
+/// `spans[r + 1] - spans[r]` (the CSR `indptr` convention: weight =
+/// stored entries). This is the cost-model complement to [`partition`]:
+/// balancing rows is wrong for power-law degree distributions, where
+/// one hub row can own most of the work.
+///
+/// Every range contains at least one row (a hub row heavier than the
+/// ideal chunk weight gets a range of its own), ranges cover `0..rows`
+/// in order, and an empty `Vec` is returned for `rows == 0`. Zero-work
+/// tails collapse into the final range rather than minting empty-weight
+/// chunks.
+///
+/// # Panics
+/// If `spans` is empty or decreases.
+pub fn partition_weighted(spans: &[usize], parts: usize) -> Vec<Range<usize>> {
+    assert!(!spans.is_empty(), "partition_weighted: spans must have rows + 1 entries");
+    let rows = spans.len() - 1;
+    if rows == 0 {
+        return Vec::new();
+    }
+    debug_assert!(spans.windows(2).all(|w| w[0] <= w[1]), "partition_weighted: spans decrease");
+    let total = spans[rows] - spans[0];
+    let parts = parts.clamp(1, rows);
+    if parts == 1 || total == 0 {
+        return std::iter::once(0..rows).collect();
+    }
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for chunk in 0..parts {
+        if start == rows {
+            break;
+        }
+        let remaining_chunks = parts - chunk;
+        if remaining_chunks == 1 {
+            out.push(start..rows);
+            start = rows;
+            break;
+        }
+        // Aim each remaining chunk at an equal share of the remaining
+        // weight, but never consume so many rows that later chunks
+        // would go empty.
+        let remaining_weight = spans[rows] - spans[start];
+        let target = spans[start] + remaining_weight.div_ceil(remaining_chunks);
+        let mut end = spans.partition_point(|&s| s < target).max(start + 1);
+        // `partition_point` indexes into `spans` (rows + 1 entries);
+        // clamp so every later chunk keeps at least one row.
+        end = end.min(rows - (remaining_chunks - 1)).max(start + 1);
+        out.push(start..end);
+        start = end;
+    }
+    if start < rows {
+        out.push(start..rows);
+    }
+    // Merge a zero-weight tail into its predecessor so schedulers never
+    // see trailing chunks with no work (empty-row runs at the end of a
+    // skewed CSR would otherwise mint them).
+    while out.len() > 1 {
+        let last = out.last().unwrap().clone();
+        if spans[last.end] - spans[last.start] > 0 {
+            break;
+        }
+        out.pop();
+        out.last_mut().unwrap().end = last.end;
+    }
+    out
+}
+
+/// How chunks of one parallel call are handed to threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Schedule {
+    /// Chunks are claimed from a single shared counter in index order.
+    /// Lowest overhead; the right default when chunks carry similar
+    /// work.
+    #[default]
+    Static,
+    /// Chunks are dealt into per-participant deques; a participant pops
+    /// its own deque from the front and, when empty, steals from the
+    /// back of a victim's. The right choice when chunk weights are
+    /// uneven (skewed CSR rows): a thread stuck on a hub chunk keeps
+    /// working while the others drain the rest of the call. Which
+    /// thread runs a chunk never affects the bytes produced, so the
+    /// determinism contract is unchanged.
+    Stealing,
+}
+
 // ----- the persistent worker pool -------------------------------------
 
 /// One in-flight parallel call: a set of `total` chunks claimed
@@ -158,9 +270,56 @@ pub fn partition(rows: usize, parts: usize) -> Vec<Range<usize>> {
 /// by a thread that successfully claimed a chunk (`next < total`),
 /// which the caller outlives by construction (it blocks until
 /// `done == total`).
+/// How a [`Job`]'s chunks are handed out to the threads racing for
+/// them. Both variants guarantee each chunk index is claimed exactly
+/// once; they differ only in who tends to claim what.
+enum ChunkQueue {
+    /// One shared counter: chunk `i` goes to whoever increments past it
+    /// first.
+    Claim(AtomicUsize),
+    /// Per-participant deques of chunk indices. A participant pops its
+    /// own deque from the front (preserving the locality of the
+    /// contiguous block it was dealt) and, once empty, steals from the
+    /// *back* of the other deques — the classic work-stealing
+    /// discipline, here with plain mutex-guarded deques: chunks are
+    /// coarse (hundreds per call at most), so lock traffic is
+    /// negligible next to chunk arithmetic and a lock-free deque would
+    /// buy nothing but `unsafe`.
+    Steal {
+        slots: Vec<Mutex<VecDeque<usize>>>,
+        /// Hands each arriving participant a home slot. Wraps modulo
+        /// `slots.len()` so a stale queue notification (from a job that
+        /// already finished) can never index out of bounds.
+        next_slot: AtomicUsize,
+    },
+}
+
+impl ChunkQueue {
+    /// Deals `total` chunks into `slots` deques in contiguous blocks:
+    /// whoever claims a slot works a contiguous run of chunks front to
+    /// back, and thefts peel from the far end of a victim's block.
+    /// Slot order is first-come (an already-woken worker may claim
+    /// slot 0 before the dispatching caller does); no invariant ties a
+    /// particular participant to a particular block, only that every
+    /// chunk is handed out exactly once.
+    fn deal(total: usize, slots: usize) -> Self {
+        let blocks = partition(total, slots);
+        let mut deques: Vec<Mutex<VecDeque<usize>>> = blocks
+            .into_iter()
+            .map(|b| Mutex::new(b.collect::<VecDeque<usize>>()))
+            .collect();
+        // `partition` may return fewer blocks than slots; pad so every
+        // participant has a (possibly empty) home deque to steal from.
+        while deques.len() < slots {
+            deques.push(Mutex::new(VecDeque::new()));
+        }
+        ChunkQueue::Steal { slots: deques, next_slot: AtomicUsize::new(0) }
+    }
+}
+
 struct Job {
-    /// Next chunk index to claim.
-    next: AtomicUsize,
+    /// Chunk hand-out discipline (shared counter or stealing deques).
+    queue: ChunkQueue,
     /// Total number of chunks.
     total: usize,
     /// Completed chunks; the caller sleeps on `cv` until it hits
@@ -185,26 +344,63 @@ impl Job {
     /// Claims and runs chunks until none remain. Called by workers and
     /// by the dispatching caller alike.
     fn work(&self) {
-        loop {
-            let i = self.next.fetch_add(1, Ordering::AcqRel);
-            if i >= self.total {
-                return;
+        match &self.queue {
+            ChunkQueue::Claim(next) => loop {
+                let i = next.fetch_add(1, Ordering::AcqRel);
+                if i >= self.total {
+                    return;
+                }
+                self.run_chunk(i);
+            },
+            ChunkQueue::Steal { slots, next_slot } => {
+                let me = next_slot.fetch_add(1, Ordering::AcqRel) % slots.len();
+                loop {
+                    // Own deque first, front to back.
+                    let own = slots[me].lock().unwrap().pop_front();
+                    if let Some(i) = own {
+                        self.run_chunk(i);
+                        continue;
+                    }
+                    // Steal-on-empty: sweep the victims once, taking
+                    // from the back (the cold end of their block).
+                    let mut stole = false;
+                    for v in 1..slots.len() {
+                        let victim = (me + v) % slots.len();
+                        let theft = slots[victim].lock().unwrap().pop_back();
+                        if let Some(i) = theft {
+                            self.run_chunk(i);
+                            stole = true;
+                            break;
+                        }
+                    }
+                    if !stole {
+                        // Every deque was empty at the moment we looked:
+                        // all chunks are claimed (possibly still in
+                        // flight on other threads). Nothing left to do
+                        // here; the caller waits on `done`.
+                        return;
+                    }
+                }
             }
-            // Chunks are independent; a panic in one must not abandon
-            // the completion protocol (the caller would deadlock and
-            // the borrow it holds would outlive the unwinding), so the
-            // payload is parked and rethrown by the caller.
-            let result = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe {
-                (self.run)(self.ctx, i)
-            }));
-            if let Err(payload) = result {
-                self.panic.lock().unwrap().get_or_insert(payload);
-            }
-            let mut done = self.done.lock().unwrap();
-            *done += 1;
-            if *done == self.total {
-                self.cv.notify_all();
-            }
+        }
+    }
+
+    /// Runs one claimed chunk and ticks the completion protocol.
+    fn run_chunk(&self, i: usize) {
+        // Chunks are independent; a panic in one must not abandon
+        // the completion protocol (the caller would deadlock and
+        // the borrow it holds would outlive the unwinding), so the
+        // payload is parked and rethrown by the caller.
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe {
+            (self.run)(self.ctx, i)
+        }));
+        if let Err(payload) = result {
+            self.panic.lock().unwrap().get_or_insert(payload);
+        }
+        let mut done = self.done.lock().unwrap();
+        *done += 1;
+        if *done == self.total {
+            self.cv.notify_all();
         }
     }
 
@@ -366,8 +562,26 @@ unsafe fn trampoline<F: Fn(usize) + Sync>(ctx: *const (), i: usize) {
 /// Runs `f(0)..f(chunks-1)` across the pool and the calling thread,
 /// returning when all chunks completed. `f` must tolerate concurrent
 /// invocation for distinct indices; each index is invoked exactly once.
-fn run_chunks<F: Fn(usize) + Sync>(chunks: usize, f: &F) {
-    if chunks <= 1 || IN_WORKER.with(|w| w.get()) {
+///
+/// `participants` caps how many threads (pool workers + the caller)
+/// share the job. The static schedule keeps the historical behavior of
+/// one chunk per participant; the stealing schedule deliberately cuts
+/// more chunks than participants so uneven chunk weights even out.
+fn run_chunks<F: Fn(usize) + Sync>(chunks: usize, participants: usize, schedule: Schedule, f: &F) {
+    let participants = participants.clamp(1, chunks.max(1));
+    // The oversubscription guard: under *implicit* configuration
+    // (GNMR_THREADS or the hardware default), dispatch never spawns or
+    // wakes more workers than the machine can co-schedule with the
+    // caller. A programmatic `set_threads` override lifts the cap —
+    // an explicit contract, honored exactly (see [`explicit_override`]).
+    let hw_cap = if explicit_override() { usize::MAX } else { hardware_threads() };
+    // Single-core hardware under implicit config is the degenerate
+    // case: no worker could ever be woken (the notification cap below
+    // would be zero), so the job/queue machinery would only add
+    // allocation and lock traffic around a caller that drains every
+    // chunk anyway. Run inline instead — chunk order 0..n, the serial
+    // reference order, identical bytes.
+    if chunks <= 1 || participants <= 1 || hw_cap <= 1 || IN_WORKER.with(|w| w.get()) {
         // Serial / nested path: same chunks, same order as the serial
         // reference — identical bytes, no queue involvement.
         for i in 0..chunks {
@@ -375,8 +589,12 @@ fn run_chunks<F: Fn(usize) + Sync>(chunks: usize, f: &F) {
         }
         return;
     }
+    let queue = match schedule {
+        Schedule::Static => ChunkQueue::Claim(AtomicUsize::new(0)),
+        Schedule::Stealing => ChunkQueue::deal(chunks, participants),
+    };
     let job = Arc::new(Job {
-        next: AtomicUsize::new(0),
+        queue,
         total: chunks,
         done: Mutex::new(0),
         cv: Condvar::new(),
@@ -387,8 +605,27 @@ fn run_chunks<F: Fn(usize) + Sync>(chunks: usize, f: &F) {
     let shared = pool();
     let notifications = {
         let mut st = shared.state.lock().unwrap();
-        grow_locked(shared, &mut st, chunks - 1);
-        let notifications = (chunks - 1).min(st.live - st.retiring);
+        // Dispatch-driven growth obeys the same cap as the
+        // notifications below: a dispatch only spawns workers it will
+        // also notify, so an oversubscribed implicit thread count
+        // never accumulates permanently parked threads.
+        grow_locked(shared, &mut st, (participants - 1).min(hw_cap - 1));
+        // Bounded three ways. (1) By the workers actually alive: with
+        // zero live workers (a pool shrunk to one thread, or thread
+        // spawning failing) nothing is queued at all — the
+        // caller-drains-own-job rule means the dispatch below
+        // completes regardless, and the pool queue can never
+        // accumulate notifications no worker will pop. (2) By the
+        // requested participants. (3) By the hardware cap (implicit
+        // config only): waking a worker the machine cannot co-schedule
+        // with the caller buys zero concurrency and costs context
+        // switches and cache mixing mid-kernel, so GNMR_THREADS above
+        // the core count degenerates to the caller draining its own
+        // job — same bytes, none of the thrash. Un-woken notifications
+        // are never enqueued, keeping the queue bounded by what will
+        // actually be popped.
+        let notifications =
+            (participants - 1).min(st.live - st.retiring).min(hw_cap - 1);
         for _ in 0..notifications {
             st.queue.push_back(Arc::clone(&job));
         }
@@ -456,12 +693,66 @@ where
         f(0..rows, data);
         return;
     }
-    let width = data.len() / rows;
     let ranges = partition(rows, threads);
+    row_chunk_dispatch(data, rows, &ranges, threads, Schedule::Static, &f);
+}
+
+/// Like [`for_each_row_chunk`], but over an explicit, caller-supplied
+/// chunk plan and schedule. This is the cost-model entry point: the
+/// kernel layer cuts `ranges` by *work* (e.g. CSR nnz spans) rather
+/// than row count and picks [`Schedule::Stealing`] when the plan is
+/// finer than the thread count. `threads` caps how many threads share
+/// the job (the plan may hold many more chunks than that).
+///
+/// `ranges` must be contiguous, in order, and cover `0..rows` exactly —
+/// the same shape [`partition`] and [`partition_weighted`] produce.
+/// Bytes written are independent of the schedule, the plan, and the
+/// thread count, because each row still belongs to exactly one chunk.
+///
+/// # Panics
+/// If `data` is not row-aligned or `ranges` does not tile `0..rows`.
+pub fn for_each_row_chunk_ranges<T, F>(
+    data: &mut [T],
+    rows: usize,
+    ranges: &[Range<usize>],
+    threads: usize,
+    schedule: Schedule,
+    f: F,
+) where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    assert!(
+        if rows == 0 { data.is_empty() } else { data.len().is_multiple_of(rows) },
+        "for_each_row_chunk_ranges: buffer length {} is not row-aligned for {rows} rows",
+        data.len()
+    );
+    assert_ranges_tile(ranges, rows, "for_each_row_chunk_ranges");
+    if rows == 0 {
+        f(0..0, data);
+        return;
+    }
+    row_chunk_dispatch(data, rows, ranges, threads, schedule, &f);
+}
+
+/// Shared dispatch body of the row-chunk entry points; `ranges` are
+/// already validated to tile `0..rows`.
+fn row_chunk_dispatch<T, F>(
+    data: &mut [T],
+    rows: usize,
+    ranges: &[Range<usize>],
+    threads: usize,
+    schedule: Schedule,
+    f: &F,
+) where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    let width = data.len() / rows;
     let base = SendPtr(data.as_mut_ptr());
-    run_chunks(ranges.len(), &|i: usize| {
+    run_chunks(ranges.len(), threads, schedule, &|i: usize| {
         let range = ranges[i].clone();
-        // Safety: partition ranges are disjoint and within 0..rows, so
+        // Safety: the ranges tile 0..rows (validated by the caller), so
         // each chunk is an exclusive slice of `data`, which the caller
         // borrows mutably for the whole (blocking) call.
         let chunk = unsafe {
@@ -469,6 +760,18 @@ where
         };
         f(range, chunk);
     });
+}
+
+/// Asserts that `ranges` is a contiguous, in-order tiling of `0..rows`.
+/// Memory safety of the chunk slices rests on this, so it runs in
+/// release builds too — O(chunks), off the per-row path.
+fn assert_ranges_tile(ranges: &[Range<usize>], rows: usize, who: &str) {
+    let mut next = 0usize;
+    for r in ranges {
+        assert!(r.start == next && r.end >= r.start, "{who}: ranges must tile 0..{rows} in order (got {r:?} at offset {next})");
+        next = r.end;
+    }
+    assert!(next == rows, "{who}: ranges cover 0..{next}, expected 0..{rows}");
 }
 
 /// Like [`for_each_row_chunk`], but for buffers whose rows have
@@ -506,11 +809,63 @@ where
         return;
     }
     let ranges = partition(rows, threads);
+    span_chunk_dispatch(data, spans, &ranges, threads, Schedule::Static, &f);
+}
+
+/// Like [`for_each_span_chunk`], but over an explicit chunk plan and
+/// schedule (see [`for_each_row_chunk_ranges`]). The cost-model entry
+/// point for uneven-width rows: cut `ranges` with
+/// [`partition_weighted`] over the same `spans` and pass
+/// [`Schedule::Stealing`] so hub rows stop serializing the call.
+///
+/// # Panics
+/// If `spans` is malformed or `ranges` does not tile the row set.
+pub fn for_each_span_chunk_ranges<T, F>(
+    data: &mut [T],
+    spans: &[usize],
+    ranges: &[Range<usize>],
+    threads: usize,
+    schedule: Schedule,
+    f: F,
+) where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    assert!(!spans.is_empty(), "for_each_span_chunk_ranges: spans must have rows + 1 entries");
+    let rows = spans.len() - 1;
+    assert!(
+        spans[rows] <= data.len() && spans[0] <= spans[rows],
+        "for_each_span_chunk_ranges: spans index past the buffer ({} > {})",
+        spans[rows],
+        data.len()
+    );
+    debug_assert!(spans.windows(2).all(|w| w[0] <= w[1]), "for_each_span_chunk_ranges: spans decrease");
+    assert_ranges_tile(ranges, rows, "for_each_span_chunk_ranges");
+    if rows == 0 {
+        f(0..0, &mut data[spans[0]..spans[0]]);
+        return;
+    }
+    span_chunk_dispatch(data, spans, ranges, threads, schedule, &f);
+}
+
+/// Shared dispatch body of the span-chunk entry points; `ranges` are
+/// already validated to tile the row set.
+fn span_chunk_dispatch<T, F>(
+    data: &mut [T],
+    spans: &[usize],
+    ranges: &[Range<usize>],
+    threads: usize,
+    schedule: Schedule,
+    f: &F,
+) where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
     // Memory safety rests on the chunk boundaries alone (ranges are
     // contiguous, so per-range monotonicity chains across chunks), so
-    // validate them in release builds too — O(threads), off the
+    // validate them in release builds too — O(chunks), off the
     // per-row path.
-    for r in &ranges {
+    for r in ranges {
         assert!(
             spans[r.start] <= spans[r.end],
             "for_each_span_chunk: spans decrease across rows {}..{}",
@@ -519,10 +874,10 @@ where
         );
     }
     let base = SendPtr(data.as_mut_ptr());
-    run_chunks(ranges.len(), &|i: usize| {
+    run_chunks(ranges.len(), threads, schedule, &|i: usize| {
         let range = ranges[i].clone();
         let (s, e) = (spans[range.start], spans[range.end]);
-        // Safety: partition ranges are disjoint and span boundaries are
+        // Safety: the ranges tile the row set and span boundaries are
         // non-decreasing (asserted above), so element ranges are
         // disjoint; the caller's exclusive borrow outlives the call.
         let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(s), e - s) };
@@ -632,6 +987,119 @@ mod tests {
         }));
         assert!(result.is_err(), "panic must cross the pool back to the caller");
         // The pool must stay usable after a propagated panic.
+        let mut after = vec![0u32; rows];
+        for_each_row_chunk(&mut after, rows, 4, |range, chunk| {
+            for (local, r) in range.enumerate() {
+                chunk[local] = r as u32;
+            }
+        });
+        assert!(after.iter().enumerate().all(|(r, &v)| v == r as u32));
+    }
+
+    #[test]
+    fn partition_weighted_isolates_hub_rows() {
+        // Row 2 owns 90 of 100 units of work; it must get a chunk of
+        // its own and the light rows must share the rest.
+        let spans = [0usize, 4, 8, 98, 99, 100];
+        let ranges = partition_weighted(&spans, 4);
+        let mut next = 0;
+        for r in &ranges {
+            assert_eq!(r.start, next);
+            next = r.end;
+        }
+        assert_eq!(next, 5);
+        assert!(ranges.contains(&(2..3)), "hub row not isolated: {ranges:?}");
+    }
+
+    #[test]
+    fn partition_weighted_handles_degenerate_spans() {
+        assert_eq!(partition_weighted(&[0], 4), vec![]);
+        assert_eq!(partition_weighted(&[0, 0, 0, 0], 3), vec![0..3]);
+        assert_eq!(partition_weighted(&[0, 5], 8), vec![0..1]);
+        // Zero-weight tail rows collapse into the last real chunk.
+        let ranges = partition_weighted(&[0, 10, 20, 20, 20, 20], 4);
+        assert_eq!(*ranges.last().unwrap(), (1..5));
+        // Every range non-empty, covering in order.
+        let spans: Vec<usize> = [0, 1, 1, 50, 50, 51, 99, 100].to_vec();
+        for parts in 1..=8 {
+            let ranges = partition_weighted(&spans, parts);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                assert!(r.end > r.start, "empty range {r:?} at parts={parts}");
+                next = r.end;
+            }
+            assert_eq!(next, spans.len() - 1, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn stealing_schedule_matches_static_bitwise() {
+        let rows = 41;
+        let width = 5;
+        let mut reference = vec![0u64; rows * width];
+        for_each_row_chunk(&mut reference, rows, 1, |range, chunk| {
+            for (local, r) in range.enumerate() {
+                for (c, v) in chunk[local * width..(local + 1) * width].iter_mut().enumerate() {
+                    *v = (r * 31 + c) as u64;
+                }
+            }
+        });
+        for threads in [2usize, 3, 4] {
+            // A deliberately fine, uneven plan: many more chunks than
+            // threads, so steals must happen for the call to complete.
+            let ranges = partition(rows, threads * 5);
+            let mut out = vec![0u64; rows * width];
+            for_each_row_chunk_ranges(&mut out, rows, &ranges, threads, Schedule::Stealing, |range, chunk| {
+                for (local, r) in range.enumerate() {
+                    for (c, v) in chunk[local * width..(local + 1) * width].iter_mut().enumerate() {
+                        *v = (r * 31 + c) as u64;
+                    }
+                }
+            });
+            assert_eq!(out, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn stealing_span_ranges_visit_every_row_once() {
+        // Skewed spans: one hub row, empty runs before and after.
+        let spans = [0usize, 0, 0, 90, 91, 91, 95, 100];
+        let rows = spans.len() - 1;
+        let mut reference = vec![0u32; 100];
+        for r in 0..rows {
+            for v in &mut reference[spans[r]..spans[r + 1]] {
+                *v += r as u32 + 1;
+            }
+        }
+        for threads in [2usize, 3, 5] {
+            let ranges = partition_weighted(&spans, threads * 4);
+            let mut out = vec![0u32; 100];
+            for_each_span_chunk_ranges(&mut out, &spans, &ranges, threads, Schedule::Stealing, |range, chunk| {
+                let offset = spans[range.start];
+                for r in range {
+                    for v in &mut chunk[spans[r] - offset..spans[r + 1] - offset] {
+                        *v += r as u32 + 1;
+                    }
+                }
+            });
+            assert_eq!(out, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn stealing_panic_propagates_and_pool_survives() {
+        let rows = 48;
+        let mut data = vec![0u8; rows];
+        let ranges = partition(rows, 12);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            for_each_row_chunk_ranges(&mut data, rows, &ranges, 4, Schedule::Stealing, |range, _chunk| {
+                if range.contains(&33) {
+                    panic!("boom in stolen chunk");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must cross the stealing path back to the caller");
         let mut after = vec![0u32; rows];
         for_each_row_chunk(&mut after, rows, 4, |range, chunk| {
             for (local, r) in range.enumerate() {

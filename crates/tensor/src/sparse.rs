@@ -13,8 +13,11 @@
 //! insertion order — the same accumulation order as the serial
 //! reference; normalization scales disjoint row spans in place.
 
+use std::ops::Range;
+use std::sync::OnceLock;
+
 use crate::dense::Matrix;
-use crate::kernels::PAR_MIN_WORK;
+use crate::kernels;
 use crate::par;
 
 /// A coordinate-format sparse matrix builder.
@@ -70,9 +73,9 @@ impl Coo {
 }
 
 /// Thread count for CSR construction/normalization: serial below
-/// [`PAR_MIN_WORK`] stored entries, otherwise the shared config.
+/// [`kernels::min_work`] stored entries, otherwise the shared config.
 fn auto_build_threads(nnz: usize) -> usize {
-    if nnz < PAR_MIN_WORK {
+    if nnz < kernels::min_work() {
         1
     } else {
         par::num_threads()
@@ -100,7 +103,22 @@ fn rebuild_csr(rows: usize, cols: usize, sorted: &[(u32, u32, f32)]) -> Csr {
     for i in 0..rows {
         indptr[i + 1] += indptr[i];
     }
-    Csr { rows, cols, indptr, indices, values }
+    Csr { rows, cols, indptr, indices, values, col_spans: OnceLock::new(), csc: OnceLock::new() }
+}
+
+/// Scales each row span in `range` to sum to 1 (rows summing to 0 are
+/// left zero). `chunk` holds the elements of those spans, shifted left
+/// by `offset` (the chunk's first element index).
+fn normalize_rows_span(chunk: &mut [f32], indptr: &[usize], range: Range<usize>, offset: usize) {
+    for r in range {
+        let row = &mut chunk[indptr[r] - offset..indptr[r + 1] - offset];
+        let total: f32 = row.iter().sum();
+        if total != 0.0 {
+            for v in row {
+                *v /= total;
+            }
+        }
+    }
 }
 
 /// Output of one worker's row range during parallel CSR construction.
@@ -142,9 +160,12 @@ fn build_csr(rows: usize, cols: usize, mut entries: Vec<(u32, u32, f32)>, thread
     // 2) Workers own disjoint row ranges: stable-sort each row slice by
     //    column, sum duplicates in order, emit compacted arrays. Range
     //    outputs are stitched back together in row order, so the result
-    //    is independent of which worker ran first.
+    //    is independent of which worker ran first. The chunk plan is
+    //    entry-weighted (cost model), so a hub row's sort does not
+    //    serialize construction of a skewed graph.
+    let (ranges, schedule) = kernels::span_plan(&row_start, threads);
     let outputs = std::sync::Mutex::new(Vec::new());
-    par::for_each_span_chunk(&mut bucketed, &row_start, threads, |range, chunk| {
+    par::for_each_span_chunk_ranges(&mut bucketed, &row_start, &ranges, threads, schedule, |range, chunk| {
         let offset = row_start[range.start];
         let mut out = RangeOut {
             start_row: range.start,
@@ -187,20 +208,74 @@ fn build_csr(rows: usize, cols: usize, mut entries: Vec<(u32, u32, f32)>, thread
         values.extend_from_slice(&out.values);
     }
     debug_assert_eq!(row, rows);
-    Csr { rows, cols, indptr, indices, values }
+    Csr { rows, cols, indptr, indices, values, col_spans: OnceLock::new(), csc: OnceLock::new() }
+}
+
+/// The column-major companion index of a [`Csr`]: the same entries
+/// re-bucketed by column, with rows ascending inside each column (a
+/// CSC view). Built lazily by the transposed-SpMM kernel so each
+/// output row (a CSR *column*) can be produced by streaming one
+/// contiguous span instead of binary-searching every CSR row — the
+/// fix for `spmm_t` trailing serial on scatter-heavy shapes.
+#[derive(Clone, Debug)]
+pub(crate) struct CscIndex {
+    /// `rows + 1`-style span table over columns: column `c` owns
+    /// entries `col_ptr[c]..col_ptr[c + 1]`.
+    pub(crate) col_ptr: Vec<usize>,
+    /// Row index of each entry, ascending within a column.
+    pub(crate) rows: Vec<u32>,
+    /// Entry values, permuted to match `rows`.
+    pub(crate) values: Vec<f32>,
 }
 
 /// A compressed-sparse-row matrix of `f32`.
 ///
 /// Immutable once built; graph adjacency matrices are constructed once per
 /// dataset and shared (via `Arc`) with the autodiff layer.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Debug)]
 pub struct Csr {
     rows: usize,
     cols: usize,
     indptr: Vec<usize>,
     indices: Vec<u32>,
     values: Vec<f32>,
+    /// Lazily built column span table (the `col_ptr` half of a CSC
+    /// view, O(cols) memory): enough for the kernel cost model to plan
+    /// column-weighted chunks without paying for the full entry
+    /// permutation. Derived from the fields above; not cloned or
+    /// compared.
+    col_spans: OnceLock<Vec<usize>>,
+    /// Lazily built column-major companion (see [`CscIndex`], O(nnz)
+    /// memory) — only materialized when the transposed-SpMM actually
+    /// takes the column-streaming path. Derived entirely from the
+    /// fields above, so it is deliberately *not* cloned or compared —
+    /// a clone whose values are about to be rescaled (normalization)
+    /// must not inherit a stale index.
+    csc: OnceLock<CscIndex>,
+}
+
+impl Clone for Csr {
+    fn clone(&self) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            values: self.values.clone(),
+            col_spans: OnceLock::new(),
+            csc: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Csr {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.indptr == other.indptr
+            && self.indices == other.indices
+            && self.values == other.values
+    }
 }
 
 impl Csr {
@@ -228,7 +303,15 @@ impl Csr {
 
     /// An empty (all-zero) CSR.
     pub fn empty(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+        Self {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+            col_spans: OnceLock::new(),
+            csc: OnceLock::new(),
+        }
     }
 
     /// Number of rows.
@@ -249,6 +332,94 @@ impl Csr {
     /// Number of stored (non-zero) entries.
     pub fn nnz(&self) -> usize {
         self.indices.len()
+    }
+
+    /// The row span table: row `r` owns entries
+    /// `indptr()[r]..indptr()[r + 1]` (`rows + 1` entries). This is the
+    /// weight vector the kernel layer's cost model chunks by — on
+    /// power-law graphs, balancing *entries* instead of rows is what
+    /// keeps one hub user from serializing a parallel SpMM.
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// The lazily built column span table (`cols + 1` entries): column
+    /// `c` holds `col_spans()[c + 1] - col_spans()[c]` stored entries.
+    /// O(cols) memory and one O(nnz) counting pass — this is all the
+    /// kernel cost model needs to plan column-weighted chunks, so
+    /// near-uniform matrices never pay for the full entry permutation
+    /// ([`Csr::csc`]).
+    pub(crate) fn col_spans(&self) -> &[usize] {
+        if let Some(ix) = self.csc.get() {
+            return &ix.col_ptr;
+        }
+        self.col_spans.get_or_init(|| {
+            let mut col_ptr = vec![0usize; self.cols + 1];
+            for &c in &self.indices {
+                col_ptr[c as usize + 1] += 1;
+            }
+            for c in 0..self.cols {
+                col_ptr[c + 1] += col_ptr[c];
+            }
+            col_ptr
+        })
+    }
+
+    /// Builds the column-major entry arrays: a stable counting sort of
+    /// the entries by column, preserving ascending row order within
+    /// each column (exactly the order the serial transposed-SpMM
+    /// scatter accumulates in, which is what keeps the CSC kernel
+    /// bitwise-equal to it).
+    fn build_csc_arrays(&self) -> (Vec<usize>, Vec<u32>, Vec<f32>) {
+        let col_ptr = self.col_spans().to_vec();
+        let mut rows = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        let mut cursor = col_ptr.clone();
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let slot = cursor[c as usize];
+                rows[slot] = r as u32;
+                values[slot] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        (col_ptr, rows, values)
+    }
+
+    /// The lazily built column-major companion index (see [`CscIndex`]).
+    /// First call pays one O(nnz + cols) counting sort; every later
+    /// call is free. `Csr` values are immutable once built, so the
+    /// index can never go stale (clones start with an empty cache).
+    pub(crate) fn csc(&self) -> &CscIndex {
+        self.csc.get_or_init(|| {
+            let (col_ptr, rows, values) = self.build_csc_arrays();
+            CscIndex { col_ptr, rows, values }
+        })
+    }
+
+    /// Forces the transposed-SpMM companion structures to exist now,
+    /// so the first backward pass of an epoch does not pay the one-off
+    /// builds inside its timing. The cheap column span table is always
+    /// warmed; the full O(nnz) entry permutation is built only when
+    /// the cost model (at the currently configured thread count) would
+    /// actually pick the column-streaming path — near-uniform matrices
+    /// keep their memory. Graph loaders call this on adjacencies they
+    /// know will train.
+    pub fn prewarm_spmm_t(&self) {
+        if self.nnz() == 0 {
+            return;
+        }
+        let spans = self.col_spans();
+        // Plan with the parallelism a dispatch will actually get (the
+        // oversubscription guard serializes implicit thread counts the
+        // hardware cannot run): if the kernel would take the serial
+        // path anyway, the O(nnz) index would never be read.
+        let threads = par::effective_parallelism(par::num_threads());
+        let (_, schedule) = kernels::span_plan(spans, threads);
+        if schedule == par::Schedule::Stealing && threads > 1 {
+            let _ = self.csc();
+        }
     }
 
     /// Column indices and values of row `r`.
@@ -290,9 +461,17 @@ impl Csr {
     }
 
     /// The transposed CSR (materialized).
+    ///
+    /// Built in O(nnz + cols) straight from the column-major entry
+    /// order (reusing the cached [`CscIndex`] when one exists) instead
+    /// of re-sorting triplets; entries are already unique and sorted,
+    /// so the result is byte-identical to the triplet path.
     pub fn transpose(&self) -> Csr {
-        let triplets: Vec<(u32, u32, f32)> = self.iter().map(|(r, c, v)| (c, r, v)).collect();
-        Csr::from_triplets(self.cols, self.rows, &triplets)
+        let (indptr, indices, values) = match self.csc.get() {
+            Some(ix) => (ix.col_ptr.clone(), ix.rows.clone(), ix.values.clone()),
+            None => self.build_csc_arrays(),
+        };
+        Csr { rows: self.cols, cols: self.rows, indptr, indices, values, col_spans: OnceLock::new(), csc: OnceLock::new() }
     }
 
     /// A copy whose rows each sum to 1 (rows summing to 0 are left
@@ -306,17 +485,14 @@ impl Csr {
     /// [`Csr::row_normalized`] on an explicit number of threads.
     pub fn row_normalized_with(&self, threads: usize) -> Csr {
         let mut out = self.clone();
-        par::for_each_span_chunk(&mut out.values, &out.indptr, threads, |range, chunk| {
+        if threads <= 1 || self.rows == 0 {
+            normalize_rows_span(&mut out.values, &out.indptr, 0..self.rows, 0);
+            return out;
+        }
+        let (ranges, schedule) = kernels::span_plan(&out.indptr, threads);
+        par::for_each_span_chunk_ranges(&mut out.values, &out.indptr, &ranges, threads, schedule, |range, chunk| {
             let offset = out.indptr[range.start];
-            for r in range {
-                let row = &mut chunk[out.indptr[r] - offset..out.indptr[r + 1] - offset];
-                let total: f32 = row.iter().sum();
-                if total != 0.0 {
-                    for v in row {
-                        *v /= total;
-                    }
-                }
-            }
+            normalize_rows_span(chunk, &out.indptr, range, offset);
         });
         out
     }
@@ -337,8 +513,7 @@ impl Csr {
         }
         let mut out = self.clone();
         let (indptr, indices, values) = (&out.indptr, &out.indices, &mut out.values);
-        par::for_each_span_chunk(values, indptr, threads, |range, chunk| {
-            let offset = indptr[range.start];
+        let scale = |range: Range<usize>, chunk: &mut [f32], offset: usize| {
             for r in range {
                 let (s, e) = (indptr[r], indptr[r + 1]);
                 let rd = (e - s) as f32;
@@ -349,6 +524,15 @@ impl Csr {
                     }
                 }
             }
+        };
+        if threads <= 1 || self.rows == 0 {
+            scale(0..self.rows, &mut values[..], 0);
+            return out;
+        }
+        let (ranges, schedule) = kernels::span_plan(indptr, threads);
+        par::for_each_span_chunk_ranges(values, indptr, &ranges, threads, schedule, |range, chunk| {
+            let offset = indptr[range.start];
+            scale(range, chunk, offset);
         });
         out
     }

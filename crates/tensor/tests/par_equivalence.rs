@@ -15,6 +15,29 @@ use proptest::prelude::*;
 const THREADS: [usize; 3] = [1, 2, 4];
 const TOL: f32 = 1e-5;
 
+/// RAII guard lifting the oversubscription guard for one test body: an
+/// explicit `set_threads` override makes `*_with(t)` run the genuine
+/// parallel/stealing code paths even on a single-core machine (where
+/// implicit config would inline them serially). Dropped on any exit —
+/// including proptest's early assert-returns — so the global never
+/// leaks. Other tests dispatching concurrently while the override is
+/// up merely switch code paths; their bytes are invariant, which is
+/// the contract this suite pins.
+struct ThreadOverride;
+
+impl ThreadOverride {
+    fn lift_caps() -> Self {
+        par::set_threads(Some(4));
+        ThreadOverride
+    }
+}
+
+impl Drop for ThreadOverride {
+    fn drop(&mut self) {
+        par::set_threads(None);
+    }
+}
+
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-5.0f32..5.0, rows * cols)
         .prop_map(move |d| Matrix::from_vec(rows, cols, d))
@@ -44,6 +67,37 @@ fn sparse_inputs() -> impl Strategy<Value = (Csr, Matrix, Matrix)> {
         (proptest::collection::vec(entry, 0..40), matrix(cols, d), matrix(rows, d)).prop_map(
             move |(entries, x, xt)| (Csr::from_triplets(rows, cols, &entries), x, xt),
         )
+    })
+}
+
+/// Power-law (Taobao/Yelp-style) inputs: one hub row owns ~90% of the
+/// stored entries, one hub column concentrates the rest, and with only
+/// a handful of light entries over up to 14 rows, long empty-row runs
+/// arise by construction. These shapes trip the kernel cost model into
+/// its nnz-weighted work-stealing plans, so the stealing paths (not
+/// just static partitioning) are what the bitwise assertions guard.
+fn skewed_sparse_inputs() -> impl Strategy<Value = (Csr, Matrix, Matrix)> {
+    (3usize..14, 3usize..14, 0usize..8).prop_flat_map(|(rows, cols, d)| {
+        (0..rows as u32, 0..cols as u32).prop_flat_map(move |(hub_row, hub_col)| {
+            let hub = (Just(hub_row), 0..cols as u32, -3.0f32..3.0)
+                .prop_map(|(r, c, v)| (r, c, v));
+            let col_hub = (0..rows as u32, Just(hub_col), -3.0f32..3.0)
+                .prop_map(|(r, c, v)| (r, c, v));
+            let light = (0..rows as u32, 0..cols as u32, -3.0f32..3.0)
+                .prop_map(|(r, c, v)| (r, c, v));
+            (
+                proptest::collection::vec(hub, 27..45),
+                proptest::collection::vec(col_hub, 6..12),
+                proptest::collection::vec(light, 0..5),
+                matrix(cols, d),
+                matrix(rows, d),
+            )
+                .prop_map(move |(mut entries, col_entries, light, x, xt)| {
+                    entries.extend(col_entries);
+                    entries.extend(light);
+                    (Csr::from_triplets(rows, cols, &entries), x, xt)
+                })
+        })
     })
 }
 
@@ -98,6 +152,55 @@ proptest! {
         let dense = csr.to_dense().matmul(&x);
         for &t in &THREADS {
             prop_assert!(kernels::spmm_with(&csr, &x, t).max_abs_diff(&dense) <= 1e-4);
+        }
+    }
+
+    #[test]
+    fn skewed_spmm_and_spmm_t_are_bitwise_serial((csr, x, xt) in skewed_sparse_inputs()) {
+        // Skewed shapes take the nnz-weighted stealing plan; the
+        // contract there is exact, not approximate.
+        let _caps = ThreadOverride::lift_caps();
+        let reference = kernels::spmm_serial(&csr, &x);
+        let reference_t = kernels::spmm_t_serial(&csr, &xt);
+        for &t in &THREADS {
+            let got = kernels::spmm_with(&csr, &x, t);
+            prop_assert_eq!(got.data(), reference.data(), "spmm threads={}", t);
+            let got_t = kernels::spmm_t_with(&csr, &xt, t);
+            prop_assert_eq!(got_t.data(), reference_t.data(), "spmm_t threads={}", t);
+        }
+    }
+
+    #[test]
+    fn skewed_normalization_matches_serial((csr, _x, _xt) in skewed_sparse_inputs()) {
+        let _caps = ThreadOverride::lift_caps();
+        let row_ref = csr.row_normalized_with(1);
+        let sym_ref = csr.sym_normalized_with(1);
+        for &t in &THREADS[1..] {
+            prop_assert_eq!(&csr.row_normalized_with(t), &row_ref, "row threads={}", t);
+            prop_assert_eq!(&csr.sym_normalized_with(t), &sym_ref, "sym threads={}", t);
+        }
+    }
+
+    #[test]
+    fn skewed_scatter_add_matches_serial(
+        (rows, src) in (2usize..10, 0usize..6).prop_flat_map(|(r, c)| (Just(r), matrix(40, c))),
+        hot in 0usize..10,
+        seed in 0u32..1000,
+    ) {
+        // ~90% of the updates land on one hot destination row (an
+        // embedding-table hub), the rest scatter — the skew that flips
+        // the scatter-add kernel onto its weighted stealing plan.
+        let _caps = ThreadOverride::lift_caps();
+        let hot = (hot % rows) as u32;
+        let indices: Vec<u32> = (0..src.rows() as u32)
+            .map(|i| if (i + seed) % 10 < 9 { hot } else { (i * 7 + seed) % rows as u32 })
+            .collect();
+        let mut reference = Matrix::zeros(rows, src.cols());
+        kernels::scatter_add_rows_with(&mut reference, &indices, &src, 1);
+        for &t in &THREADS[1..] {
+            let mut dst = Matrix::zeros(rows, src.cols());
+            kernels::scatter_add_rows_with(&mut dst, &indices, &src, t);
+            prop_assert_eq!(dst.data(), reference.data(), "threads={}", t);
         }
     }
 
@@ -185,6 +288,49 @@ fn parallel_results_are_bitwise_identical() {
     for t in 1..=8 {
         assert_eq!(kernels::spmm_with(&csr, &x, t).data(), reference.data(), "threads={t}");
     }
+}
+
+#[test]
+fn skewed_hub_is_bitwise_identical_across_thread_counts() {
+    // A deterministic power-law shape big enough to cut real stealing
+    // plans: row 7 owns ~90% of 5000 entries, columns drawn
+    // log-uniformly so column degrees are skewed too.
+    let mut triplets: Vec<(u32, u32, f32)> = Vec::with_capacity(5000);
+    for i in 0..5000u32 {
+        let r = if i % 10 < 9 { 7 } else { (i * 131) % 400 };
+        let c = (((i as f32 * 0.7211).sin().abs() * 6.0).exp() as u32).min(299);
+        triplets.push((r, c, ((i as f32) * 0.013).sin()));
+    }
+    let csr = Csr::from_triplets(400, 300, &triplets);
+    let x = Matrix::from_fn(300, 16, |r, c| ((r * 3 + c) as f32 * 0.01).cos());
+    let xt = Matrix::from_fn(400, 16, |r, c| ((r + 5 * c) as f32 * 0.01).sin());
+    let reference = kernels::spmm_serial(&csr, &x);
+    let reference_t = kernels::spmm_t_serial(&csr, &xt);
+    // An explicit set_threads override lifts the oversubscription
+    // guard, so the stealing/CSC-streaming code paths run for real
+    // here even on a single-core machine. (Other tests in this binary
+    // may dispatch concurrently while the override is up; that only
+    // flips which code path they take, never their bytes — which is
+    // the contract this whole suite pins.)
+    par::set_threads(Some(8));
+    let result = std::panic::catch_unwind(|| {
+        for t in 1..=8 {
+            assert_eq!(kernels::spmm_with(&csr, &x, t).data(), reference.data(), "spmm threads={t}");
+            assert_eq!(kernels::spmm_t_with(&csr, &xt, t).data(), reference_t.data(), "spmm_t threads={t}");
+        }
+    });
+    par::set_threads(None);
+    if let Err(payload) = result {
+        std::panic::resume_unwind(payload);
+    }
+    // The O(nnz) CSC-based transpose must match the triplet-sort path
+    // byte for byte (entries are unique and sorted either way).
+    let via_triplets = Csr::from_triplets(
+        300,
+        400,
+        &csr.iter().map(|(r, c, v)| (c, r, v)).collect::<Vec<_>>(),
+    );
+    assert_eq!(csr.transpose(), via_triplets);
 }
 
 #[test]

@@ -150,11 +150,17 @@ fn pool_resizes_with_set_threads() {
     assert_eq!(kernels::matmul_with(&a, &b, 2).data(), reference.data());
     assert_eq!(par::pool_workers(), 1, "a 2-chunk dispatch must not grow a 1-worker pool");
 
-    // An explicit wider dispatch grows the pool on demand...
+    // An explicit wider dispatch grows the pool on demand. (The
+    // hardware-parallelism cap on dispatch-driven growth does not
+    // apply here: a programmatic set_threads override is active, and
+    // explicit overrides are honored exactly so this suite exercises
+    // the full cross-thread machinery on any machine.)
     assert_eq!(kernels::matmul_with(&a, &b, 4).data(), reference.data());
     assert_eq!(par::pool_workers(), 3);
 
-    // ...and so does raising the configured count once the pool exists.
+    // Raising the configured count grows unconditionally once the pool
+    // exists: set_threads is the explicit override and provisions
+    // exactly what was asked for.
     par::set_threads(Some(2));
     assert_eq!(par::pool_workers(), 1);
     par::set_threads(Some(4));
@@ -221,6 +227,105 @@ fn concurrent_resize_and_dispatch_do_not_hang() {
         }
     });
     par::set_threads(None);
+}
+
+/// A deterministic scatter-heavy CSR: row 3 owns ~90% of the entries
+/// and the column draw is log-uniform, so both the row and the column
+/// span plans come out skewed and the kernels pick the stealing
+/// schedule.
+fn skewed_csr() -> Csr {
+    let mut triplets = Vec::with_capacity(1200);
+    for i in 0..1200u32 {
+        let r = if i % 10 < 9 { 3 } else { (i * 37) % 80 };
+        let c = (((i as f32 * 0.913).sin().abs() * 4.5).exp() as u32).min(59);
+        triplets.push((r, c, ((i as f32) * 0.11).cos()));
+    }
+    Csr::from_triplets(80, 60, &triplets)
+}
+
+#[test]
+fn stealing_dispatch_self_drains_with_no_free_workers() {
+    // The stealing scheduler's chunk deques obey the same zero-worker
+    // bound as the static claim queue: job notifications pushed to the
+    // pool are capped by the workers actually alive, and the
+    // dispatching caller drains *every* slot's deque itself — its own
+    // first, then steals — so a dispatch completes even when no worker
+    // ever shows up. Observable half of that contract: with the pool
+    // shrunk to zero workers, a threads=1 stealing-capable call stays
+    // inline and must not grow the pool or park notifications nobody
+    // will pop; wider calls grow on demand exactly like the static
+    // path and still produce serial bytes.
+    let _g = lock();
+    let csr = skewed_csr();
+    let x = Matrix::from_fn(60, 8, |r, c| ((r * 7 + c) as f32 * 0.05).sin());
+    let xt = Matrix::from_fn(80, 8, |r, c| ((r + 11 * c) as f32 * 0.04).cos());
+    let reference = kernels::spmm_serial(&csr, &x);
+    let reference_t = kernels::spmm_t_serial(&csr, &xt);
+
+    let _ = kernels::matmul_with(&Matrix::ones(16, 8), &Matrix::ones(8, 8), 4); // pool exists
+    par::set_threads(Some(1));
+    assert_eq!(par::pool_workers(), 0, "set_threads(1) must retire every worker");
+
+    // threads=1: inline, no growth, no queue traffic.
+    assert_eq!(kernels::spmm_with(&csr, &x, 1).data(), reference.data());
+    assert_eq!(kernels::spmm_t_with(&csr, &xt, 1).data(), reference_t.data());
+    assert_eq!(par::pool_workers(), 0, "a width-1 call must not grow a drained pool");
+
+    // A wider stealing dispatch grows the pool on demand (like the
+    // static path; the set_threads override is active, so the
+    // hardware cap on implicit growth does not apply) and the bytes
+    // still match serial exactly.
+    assert_eq!(kernels::spmm_t_with(&csr, &xt, 3).data(), reference_t.data());
+    assert!(par::pool_workers() <= 2, "stealing dispatch over-grew the pool");
+
+    par::set_threads(None);
+}
+
+#[test]
+fn stealing_callers_drain_foreign_slots_on_a_starved_pool() {
+    // One live worker, four concurrent dispatchers each cutting ~8-12
+    // stealing chunks: most slots' notifications never reach a worker,
+    // so each caller finishes only by stealing chunks dealt to slots
+    // it does not own. A caller that drained only its own deque would
+    // hang here; wrong steal bookkeeping would corrupt bytes.
+    let _g = lock();
+    par::set_threads(Some(2));
+    let csr = skewed_csr();
+    let x = Matrix::from_fn(60, 8, |r, c| ((r * 3 + c) as f32 * 0.06).sin());
+    let xt = Matrix::from_fn(80, 8, |r, c| ((r + 7 * c) as f32 * 0.03).cos());
+    let reference = kernels::spmm_serial(&csr, &x);
+    let reference_t = kernels::spmm_t_serial(&csr, &xt);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for _ in 0..20 {
+                    assert_eq!(kernels::spmm_with(&csr, &x, 3).data(), reference.data());
+                    assert_eq!(kernels::spmm_t_with(&csr, &xt, 3).data(), reference_t.data());
+                }
+            });
+        }
+    });
+    par::set_threads(None);
+}
+
+#[test]
+fn nested_stealing_calls_run_inline() {
+    // A stealing dispatch issued from inside a pool worker must run
+    // inline (serial chunk order) rather than re-entering the queue —
+    // same rule as static nested calls, same bytes.
+    let _g = lock();
+    let csr = skewed_csr();
+    let x = Matrix::from_fn(60, 4, |r, c| ((r + c) as f32 * 0.02).sin());
+    let reference = kernels::spmm_serial(&csr, &x);
+    let results = std::sync::Mutex::new(Vec::new());
+    let mut outer = vec![0u8; 4];
+    par::for_each_row_chunk(&mut outer, 4, 4, |_range, _chunk| {
+        let inner = kernels::spmm_with(&csr, &x, 4);
+        results.lock().unwrap().push(inner);
+    });
+    for (i, got) in results.into_inner().unwrap().iter().enumerate() {
+        assert_eq!(got.data(), reference.data(), "nested call {i} diverged");
+    }
 }
 
 #[test]

@@ -37,6 +37,57 @@ fn different_seeds_differ() {
 }
 
 #[test]
+fn training_is_thread_count_invariant() {
+    // The cross-thread half of the determinism contract: a full
+    // training run must produce bitwise-identical parameters and
+    // recommendation lists at every thread count, now that the kernels
+    // route through cost-model chunk plans and the work-stealing
+    // scheduler. `GNMR_THREADS` is read once per process, so the
+    // in-process equivalent `par::set_threads` drives the sweep here
+    // ({1, 2, 4}, mirroring the satellite CI matrix that re-runs the
+    // whole suite under GNMR_THREADS=1 and 4); `set_min_work(Some(1))`
+    // pushes even this tiny model's kernels through the parallel
+    // paths, which would otherwise stay serial below the work
+    // threshold and make the sweep vacuous.
+    gnmr::tensor::kernels::set_min_work(Some(1));
+    let run = |threads: usize| {
+        par::set_threads(Some(threads));
+        let data = gnmr::data::presets::tiny_movielens(3);
+        let mut model = Gnmr::new(
+            &data.graph,
+            GnmrConfig { pretrain: false, seed: 11, ..GnmrConfig::default() },
+        );
+        model.fit(&data.graph, &TrainConfig { epochs: 3, seed: 11, ..TrainConfig::fast_test() });
+        let params: Vec<(String, Vec<f32>)> = model
+            .params()
+            .iter()
+            .map(|(name, m)| (name.to_string(), m.data().to_vec()))
+            .collect();
+        let recs: Vec<Vec<(u32, f32)>> = (0..data.graph.n_users() as u32)
+            .map(|u| model.recommend(u, 10, &[]))
+            .collect();
+        (params, recs)
+    };
+    let result = std::panic::catch_unwind(|| {
+        let (params_1t, recs_1t) = run(1);
+        assert!(!params_1t.is_empty() && !recs_1t.is_empty());
+        for threads in [2usize, 4] {
+            let (params, recs) = run(threads);
+            for ((name_a, data_a), (name_b, data_b)) in params_1t.iter().zip(&params) {
+                assert_eq!(name_a, name_b);
+                assert_eq!(data_a, data_b, "param {name_a} diverged at {threads} threads");
+            }
+            assert_eq!(recs, recs_1t, "recommendations diverged at {threads} threads");
+        }
+    });
+    gnmr::tensor::kernels::set_min_work(None);
+    par::set_threads(None);
+    if let Err(payload) = result {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+#[test]
 fn datasets_and_baselines_are_reproducible() {
     let a = gnmr::data::presets::tiny_taobao(9);
     let b = gnmr::data::presets::tiny_taobao(9);
