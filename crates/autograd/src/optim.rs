@@ -4,12 +4,41 @@
 //! Frobenius regularization `lambda * ||Theta||_F^2` of Eq. 7 is applied
 //! here as coupled L2 weight decay (`grad += 2 * lambda * w`), which is
 //! its exact gradient.
+//!
+//! Both optimizers update through **fused single-pass kernels**
+//! ([`sgd_step`] / [`adam_step`]): weight decay, moment updates, and
+//! the parameter write happen in one sweep over each tensor, with no
+//! temporary matrices — the steady-state optimizer path performs zero
+//! heap allocations (Adam's moment buffers are minted once, on a
+//! parameter's first step). The fused loops evaluate exactly the same
+//! per-element expressions, in the same order, as the historical
+//! materialize-temporaries implementation, so updates are bitwise
+//! identical to it.
 
 use std::collections::HashMap;
 
 use gnmr_tensor::Matrix;
 
 use crate::params::{Grads, ParamStore};
+
+/// Fused SGD update for one tensor: `w -= lr * (g + 2*wd*w)`, one pass,
+/// no temporaries. Per element this is the exact float sequence of the
+/// old clone-then-`add_scaled_assign` path.
+pub fn sgd_step(w: &mut Matrix, g: &Matrix, lr: f32, weight_decay: f32) {
+    assert_eq!(w.shape(), g.shape(), "sgd_step: shape mismatch");
+    let nlr = -lr;
+    if weight_decay > 0.0 {
+        let s = 2.0 * weight_decay;
+        for (wv, &gv) in w.data_mut().iter_mut().zip(g.data()) {
+            let eff = gv + s * *wv;
+            *wv += nlr * eff;
+        }
+    } else {
+        for (wv, &gv) in w.data_mut().iter_mut().zip(g.data()) {
+            *wv += nlr * gv;
+        }
+    }
+}
 
 /// Plain stochastic gradient descent with optional L2 weight decay.
 pub struct Sgd {
@@ -25,21 +54,12 @@ impl Sgd {
         Self { lr, weight_decay: 0.0 }
     }
 
-    /// Applies one update step.
+    /// Applies one update step (fused, allocation-free).
     pub fn step(&mut self, store: &mut ParamStore, grads: &Grads) {
-        let names: Vec<String> = store.names().map(str::to_string).collect();
-        for name in names {
-            if let Some(g) = grads.get(&name) {
-                let wd = self.weight_decay;
-                let lr = self.lr;
-                let w = store.get_mut(&name);
-                if wd > 0.0 {
-                    let mut eff = g.clone();
-                    eff.add_scaled_assign(w, 2.0 * wd);
-                    w.add_scaled_assign(&eff, -lr);
-                } else {
-                    w.add_scaled_assign(g, -lr);
-                }
+        let (lr, wd) = (self.lr, self.weight_decay);
+        for (name, w) in store.iter_mut() {
+            if let Some(g) = grads.get(name) {
+                sgd_step(w, g, lr, wd);
             }
         }
     }
@@ -99,44 +119,81 @@ impl Adam {
         self.lr *= self.lr_decay;
     }
 
-    /// Applies one update step.
+    /// Applies one update step (fused, allocation-free after each
+    /// parameter's first step, which mints its moment buffers).
     pub fn step(&mut self, store: &mut ParamStore, grads: &Grads) {
         self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        let names: Vec<String> = store.names().map(str::to_string).collect();
-        for name in names {
-            let Some(g) = grads.get(&name) else { continue };
-            let w = store.get(&name).clone();
-            let mut eff = g.clone();
-            if self.weight_decay > 0.0 {
-                eff.add_scaled_assign(&w, 2.0 * self.weight_decay);
+        let cfg = AdamStep {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            weight_decay: self.weight_decay,
+            bc1: 1.0 - self.beta1.powi(self.t as i32),
+            bc2: 1.0 - self.beta2.powi(self.t as i32),
+        };
+        for (name, w) in store.iter_mut() {
+            let Some(g) = grads.get(name) else { continue };
+            if !self.m.contains_key(name) {
+                self.m.insert(name.to_string(), Matrix::zeros(w.rows(), w.cols()));
+                self.v.insert(name.to_string(), Matrix::zeros(w.rows(), w.cols()));
             }
-            let m = self
-                .m
-                .entry(name.clone())
-                .or_insert_with(|| Matrix::zeros(w.rows(), w.cols()));
-            m.scale_assign(self.beta1);
-            m.add_scaled_assign(&eff, 1.0 - self.beta1);
-            let v = self
-                .v
-                .entry(name.clone())
-                .or_insert_with(|| Matrix::zeros(w.rows(), w.cols()));
-            v.scale_assign(self.beta2);
-            let g_sq = eff.hadamard(&eff);
-            v.add_scaled_assign(&g_sq, 1.0 - self.beta2);
-
-            let m = &self.m[&name];
-            let v = &self.v[&name];
-            let lr = self.lr;
-            let eps = self.eps;
-            let target = store.get_mut(&name);
-            for i in 0..target.data().len() {
-                let m_hat = m.data()[i] / bc1;
-                let v_hat = v.data()[i] / bc2;
-                target.data_mut()[i] -= lr * m_hat / (v_hat.sqrt() + eps);
-            }
+            let m = self.m.get_mut(name).expect("moment inserted above");
+            let v = self.v.get_mut(name).expect("moment inserted above");
+            adam_step(w, g, m, v, &cfg);
         }
+    }
+}
+
+/// Per-step constants for [`adam_step`]: the optimizer hyperparameters
+/// plus the bias-correction denominators `1 - beta^t` for the current
+/// step count.
+#[derive(Clone, Copy, Debug)]
+pub struct AdamStep {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Coupled L2 coefficient.
+    pub weight_decay: f32,
+    /// `1 - beta1^t`.
+    pub bc1: f32,
+    /// `1 - beta2^t`.
+    pub bc2: f32,
+}
+
+/// Fused Adam update for one tensor: weight decay, both moment
+/// updates, bias correction, and the parameter write in a single pass
+/// with no temporaries. Element-for-element the same float expressions
+/// (and evaluation order) as the historical
+/// clone/`scale_assign`/`add_scaled_assign`/`hadamard` sequence, so
+/// updates are bitwise identical to it.
+pub fn adam_step(w: &mut Matrix, g: &Matrix, m: &mut Matrix, v: &mut Matrix, p: &AdamStep) {
+    assert_eq!(w.shape(), g.shape(), "adam_step: grad shape mismatch");
+    assert_eq!(w.shape(), m.shape(), "adam_step: first-moment shape mismatch");
+    assert_eq!(w.shape(), v.shape(), "adam_step: second-moment shape mismatch");
+    let s_wd = 2.0 * p.weight_decay;
+    let om1 = 1.0 - p.beta1;
+    let om2 = 1.0 - p.beta2;
+    let decayed = p.weight_decay > 0.0;
+    for ((wv, &gv), (mv, vv)) in w
+        .data_mut()
+        .iter_mut()
+        .zip(g.data())
+        .zip(m.data_mut().iter_mut().zip(v.data_mut().iter_mut()))
+    {
+        let eff = if decayed { gv + s_wd * *wv } else { gv };
+        let mi = *mv * p.beta1 + om1 * eff;
+        let vi = *vv * p.beta2 + om2 * (eff * eff);
+        *mv = mi;
+        *vv = vi;
+        let m_hat = mi / p.bc1;
+        let v_hat = vi / p.bc2;
+        *wv -= p.lr * m_hat / (v_hat.sqrt() + p.eps);
     }
 }
 

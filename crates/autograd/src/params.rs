@@ -7,7 +7,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use gnmr_tensor::Matrix;
+use gnmr_tensor::{Arena, Matrix};
 
 use crate::tape::{Graph, Var};
 
@@ -68,6 +68,14 @@ impl ParamStore {
         self.entries.iter().map(|(k, v)| (k.as_str(), v))
     }
 
+    /// Iterates `(name, mutable value)` pairs in deterministic (sorted)
+    /// order. This is the optimizer's update path: iterating in place
+    /// avoids the per-step name-list allocation the old
+    /// collect-then-look-up loop paid.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&str, &mut Matrix)> {
+        self.entries.iter_mut().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Number of parameters (tensors).
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -96,36 +104,66 @@ impl ParamStore {
 }
 
 /// Named gradients produced by one backward pass.
+///
+/// Reusable across steps: slots keep their `String` keys when a
+/// gradient is recycled into an [`Arena`] (see [`Grads::recycle`]), so
+/// a steady-state training loop refills the same map every step
+/// without touching the allocator.
 #[derive(Default, Clone)]
 pub struct Grads {
-    entries: HashMap<String, Matrix>,
+    /// `None` marks a slot whose matrix was recycled (or a parameter
+    /// that did not participate this step); keys persist so refills
+    /// never re-allocate the name.
+    entries: HashMap<String, Option<Matrix>>,
 }
 
 impl Grads {
     /// Gradient for a parameter, if it participated in the loss.
     pub fn get(&self, name: &str) -> Option<&Matrix> {
-        self.entries.get(name)
+        self.entries.get(name).and_then(Option::as_ref)
     }
 
     /// Iterates over `(name, grad)` pairs (unordered).
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Matrix)> {
-        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+        self.entries.iter().filter_map(|(k, v)| v.as_ref().map(|m| (k.as_str(), m)))
     }
 
     /// Number of gradients present.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.values().filter(|v| v.is_some()).count()
     }
 
     /// Whether no gradients are present.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        !self.entries.values().any(Option::is_some)
+    }
+
+    /// Stores a gradient, reusing the existing key slot when present
+    /// (no `String` allocation in the steady state).
+    pub(crate) fn set(&mut self, name: &str, grad: Matrix) {
+        match self.entries.get_mut(name) {
+            Some(slot) => *slot = Some(grad),
+            None => {
+                self.entries.insert(name.to_string(), Some(grad));
+            }
+        }
+    }
+
+    /// Returns every held gradient buffer to `arena`, leaving the named
+    /// slots in place for the next step's refill.
+    pub fn recycle(&mut self, arena: &Arena) {
+        for slot in self.entries.values_mut() {
+            if let Some(m) = slot.take() {
+                arena.checkin(m);
+            }
+        }
     }
 
     /// Global L2 norm across all gradients.
     pub fn global_norm(&self) -> f32 {
         self.entries
             .values()
+            .flatten()
             .map(Matrix::frobenius_norm_sq)
             .sum::<f32>()
             .sqrt()
@@ -137,7 +175,7 @@ impl Grads {
         let norm = self.global_norm();
         if norm > max_norm && norm > 0.0 {
             let factor = max_norm / norm;
-            for m in self.entries.values_mut() {
+            for m in self.entries.values_mut().flatten() {
                 m.scale_assign(factor);
             }
             factor
@@ -181,15 +219,44 @@ impl<'s> Ctx<'s> {
 
     /// Runs backward from `loss` and extracts gradients for every bound
     /// parameter that participated in it.
+    ///
+    /// Convenience (allocating) form; steady-state training loops use
+    /// [`Ctx::grads_into`] with a long-lived [`Arena`] and a reused
+    /// [`Grads`], which allocates nothing after warm-up.
     pub fn grads(mut self, loss: Var) -> Grads {
         self.g.backward(loss);
         let mut entries = HashMap::with_capacity(self.bound.len());
         for (name, var) in self.bound {
             if let Some(grad) = self.g.grad(var) {
-                entries.insert(name, grad.clone());
+                entries.insert(name, Some(grad.clone()));
             }
         }
         Grads { entries }
+    }
+
+    /// Runs backward from `loss` through `arena` and refills `out` with
+    /// the bound parameters' gradients — the zero-allocation form of
+    /// [`Ctx::grads`].
+    ///
+    /// Gradient matrices are *moved* out of the tape (no clone); `out`'s
+    /// previous buffers and every intermediate-node gradient go back to
+    /// the arena, so once the arena is warm a whole
+    /// backward-plus-extract cycle performs no heap allocation. Bytes
+    /// are identical to [`Ctx::grads`]. Parameters that did not
+    /// participate in this step's loss are absent from `out` afterwards
+    /// (their slots are cleared), matching the fresh-`Grads` semantics.
+    pub fn grads_into(&mut self, loss: Var, arena: &Arena, out: &mut Grads) {
+        // Shelve last step's parameter gradients *before* backward runs,
+        // so the pass reuses them instead of minting a second
+        // param-grad-shaped population that would sit idle forever.
+        out.recycle(arena);
+        self.g.backward_with(loss, arena);
+        for (name, &var) in &self.bound {
+            if let Some(grad) = self.g.take_grad(var) {
+                out.set(name, grad);
+            }
+        }
+        self.g.recycle_grads(arena);
     }
 }
 

@@ -18,10 +18,20 @@
 //! buffers are large enough to amortize dispatch — important for the
 //! tape, which issues many sub-millisecond kernel calls per training
 //! step and would otherwise pay a thread spawn on each.
+//!
+//! The backward pass is **allocation-free in the steady state**:
+//! gradient accumulators come from a shape-keyed [`Arena`]
+//! ([`Graph::backward_with`]), contributions are applied through the
+//! fused in-place kernels (`axpy`, the `zip_map` family, the
+//! `matmul_*`/`spmm_*` accumulate forms), and every buffer is returned
+//! to the arena for the next step. The in-place paths reproduce the
+//! historical allocate-then-combine float sequences exactly, so
+//! training bytes are unchanged (see the kernel docs and
+//! `tests/determinism.rs`).
 
 use std::sync::Arc;
 
-use gnmr_tensor::{kernels, stats, Csr, Matrix};
+use gnmr_tensor::{kernels, stats, Arena, Csr, Matrix};
 
 /// A handle to a node in a [`Graph`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -348,177 +358,529 @@ impl Graph {
 
     /// Backpropagates from `loss` (must be `1 x 1`), filling gradients of
     /// every node that `loss` depends on.
+    ///
+    /// Allocates gradient buffers from a throwaway arena; steady-state
+    /// training loops should call [`Graph::backward_with`] with a
+    /// long-lived [`Arena`] instead, which recycles every buffer and
+    /// performs zero heap allocations after its first pass.
     pub fn backward(&mut self, loss: Var) {
+        let arena = Arena::new();
+        self.backward_with(loss, &arena);
+    }
+
+    /// Like [`Graph::backward`], but checks every gradient buffer out of
+    /// `arena` and returns replaced ones to it, so a warm arena makes the
+    /// whole backward pass allocation-free.
+    ///
+    /// Gradients are accumulated **in place** through the fused kernels
+    /// in [`gnmr_tensor::kernels`]: the first contribution to a node is
+    /// written into a checkout (assign-style kernels take dirty buffers,
+    /// streaming accumulators take zeroed ones — both produce exactly
+    /// the bytes the old freshly-allocated contribution held), and every
+    /// further contribution either folds in fully-formed values with one
+    /// add per element or goes through a zeroed scratch checkout plus
+    /// `add_assign`, replicating the historical allocate-then-combine
+    /// float sequence. Results are therefore bitwise identical to the
+    /// pre-arena tape at every thread count.
+    pub fn backward_with(&mut self, loss: Var, arena: &Arena) {
         assert_eq!(self.shape(loss), (1, 1), "backward: loss must be 1x1, got {:?}", self.shape(loss));
         for n in &mut self.nodes {
-            n.grad = None;
+            if let Some(g) = n.grad.take() {
+                arena.checkin(g);
+            }
         }
-        self.nodes[loss.0].grad = Some(Matrix::scalar(1.0));
+        let mut seed = arena.checkout(1, 1);
+        seed.data_mut()[0] = 1.0;
+        self.nodes[loss.0].grad = Some(seed);
 
         for i in (0..=loss.0).rev() {
-            let Some(g) = self.nodes[i].grad.clone() else { continue };
-            let op = self.nodes[i].op.clone();
-            let contributions = self.backward_op(i, &op, &g);
-            for (var, m) in contributions {
-                self.accumulate(var, m);
+            // Parents always precede their node on the tape, so splitting
+            // at `i` lets the node's grad/op/value be read from `tail`
+            // while parent accumulators in `head` are taken and replaced
+            // — no `op.clone()` (including `ConcatCols`'s `Vec`) and no
+            // `grad.clone()` per node.
+            let (head, tail) = self.nodes.split_at_mut(i);
+            let node = &tail[0];
+            let Some(g) = node.grad.as_ref() else { continue };
+            let out = &node.value;
+            match &node.op {
+                Op::Leaf => {}
+                Op::Add(a, b) => {
+                    for p in [*a, *b] {
+                        apply_map(
+                            head,
+                            arena,
+                            p,
+                            g.shape(),
+                            |_, d| d.copy_from(g),
+                            |_, d| kernels::add_assign(d, g),
+                        );
+                    }
+                }
+                Op::Sub(a, b) => {
+                    apply_map(head, arena, *a, g.shape(), |_, d| d.copy_from(g), |_, d| {
+                        kernels::add_assign(d, g)
+                    });
+                    apply_map(
+                        head,
+                        arena,
+                        *b,
+                        g.shape(),
+                        |_, d| kernels::scale_into(d, g, -1.0),
+                        |_, d| kernels::axpy(d, g, -1.0),
+                    );
+                }
+                Op::Mul(a, b) => {
+                    for (p, o) in [(*a, *b), (*b, *a)] {
+                        apply_map(
+                            head,
+                            arena,
+                            p,
+                            g.shape(),
+                            |h, d| kernels::zip_map_into(d, g, &h[o.0].value, |gi, vi| gi * vi),
+                            |h, d| kernels::zip_map_acc(d, g, &h[o.0].value, |gi, vi| gi * vi),
+                        );
+                    }
+                }
+                Op::Scale(a, s) => {
+                    let s = *s;
+                    apply_map(
+                        head,
+                        arena,
+                        *a,
+                        g.shape(),
+                        |_, d| kernels::scale_into(d, g, s),
+                        |_, d| kernels::axpy(d, g, s),
+                    );
+                }
+                Op::AddScalar(a) => {
+                    apply_map(head, arena, *a, g.shape(), |_, d| d.copy_from(g), |_, d| {
+                        kernels::add_assign(d, g)
+                    });
+                }
+                Op::Neg(a) => {
+                    apply_map(
+                        head,
+                        arena,
+                        *a,
+                        g.shape(),
+                        |_, d| kernels::scale_into(d, g, -1.0),
+                        |_, d| kernels::axpy(d, g, -1.0),
+                    );
+                }
+                Op::MatMul(a, b) => {
+                    let da_shape = head[a.0].value.shape();
+                    apply_map(
+                        head,
+                        arena,
+                        *a,
+                        da_shape,
+                        |h, d| kernels::matmul_nt_into(d, g, &h[b.0].value),
+                        |h, d| kernels::matmul_nt_acc(d, g, &h[b.0].value),
+                    );
+                    let db_shape = head[b.0].value.shape();
+                    apply_sum(head, arena, *b, db_shape, |h, d| {
+                        kernels::matmul_tn_acc(d, &h[a.0].value, g)
+                    });
+                }
+                Op::Transpose(a) => {
+                    let shape = head[a.0].value.shape();
+                    apply_map(
+                        head,
+                        arena,
+                        *a,
+                        shape,
+                        |_, d| kernels::transpose_into(d, g),
+                        |_, d| kernels::transpose_acc(d, g),
+                    );
+                }
+                Op::Relu(a) => {
+                    let f = |gi: f32, yi: f32| if yi > 0.0 { gi } else { 0.0 };
+                    apply_map(
+                        head,
+                        arena,
+                        *a,
+                        g.shape(),
+                        |_, d| kernels::zip_map_into(d, g, out, f),
+                        |_, d| kernels::zip_map_acc(d, g, out, f),
+                    );
+                }
+                Op::LeakyRelu(a, slope) => {
+                    let slope = *slope;
+                    let f = move |gi: f32, xi: f32| if xi > 0.0 { gi } else { gi * slope };
+                    apply_map(
+                        head,
+                        arena,
+                        *a,
+                        g.shape(),
+                        |h, d| kernels::zip_map_into(d, g, &h[a.0].value, f),
+                        |h, d| kernels::zip_map_acc(d, g, &h[a.0].value, f),
+                    );
+                }
+                Op::Sigmoid(a) => {
+                    let f = |gi: f32, yi: f32| gi * yi * (1.0 - yi);
+                    apply_map(
+                        head,
+                        arena,
+                        *a,
+                        g.shape(),
+                        |_, d| kernels::zip_map_into(d, g, out, f),
+                        |_, d| kernels::zip_map_acc(d, g, out, f),
+                    );
+                }
+                Op::Tanh(a) => {
+                    let f = |gi: f32, yi: f32| gi * (1.0 - yi * yi);
+                    apply_map(
+                        head,
+                        arena,
+                        *a,
+                        g.shape(),
+                        |_, d| kernels::zip_map_into(d, g, out, f),
+                        |_, d| kernels::zip_map_acc(d, g, out, f),
+                    );
+                }
+                Op::Exp(a) => {
+                    let f = |gi: f32, yi: f32| gi * yi;
+                    apply_map(
+                        head,
+                        arena,
+                        *a,
+                        g.shape(),
+                        |_, d| kernels::zip_map_into(d, g, out, f),
+                        |_, d| kernels::zip_map_acc(d, g, out, f),
+                    );
+                }
+                Op::Ln(a) => {
+                    let f = |gi: f32, xi: f32| gi / xi;
+                    apply_map(
+                        head,
+                        arena,
+                        *a,
+                        g.shape(),
+                        |h, d| kernels::zip_map_into(d, g, &h[a.0].value, f),
+                        |h, d| kernels::zip_map_acc(d, g, &h[a.0].value, f),
+                    );
+                }
+                Op::Sqr(a) => {
+                    let f = |gi: f32, xi: f32| 2.0 * gi * xi;
+                    apply_map(
+                        head,
+                        arena,
+                        *a,
+                        g.shape(),
+                        |h, d| kernels::zip_map_into(d, g, &h[a.0].value, f),
+                        |h, d| kernels::zip_map_acc(d, g, &h[a.0].value, f),
+                    );
+                }
+                Op::Softplus(a) => {
+                    let f = |gi: f32, xi: f32| gi * stats::sigmoid(xi);
+                    apply_map(
+                        head,
+                        arena,
+                        *a,
+                        g.shape(),
+                        |h, d| kernels::zip_map_into(d, g, &h[a.0].value, f),
+                        |h, d| kernels::zip_map_acc(d, g, &h[a.0].value, f),
+                    );
+                }
+                Op::SoftmaxRows(a) => {
+                    apply_map(
+                        head,
+                        arena,
+                        *a,
+                        g.shape(),
+                        |_, d| kernels::softmax_rows_backward_into(d, g, out),
+                        |_, d| kernels::softmax_rows_backward_acc(d, g, out),
+                    );
+                }
+                Op::SumAll(a) => {
+                    let shape = head[a.0].value.shape();
+                    let val = g.scalar_value();
+                    apply_map(
+                        head,
+                        arena,
+                        *a,
+                        shape,
+                        |_, d| d.fill(val),
+                        |_, d| {
+                            for o in d.data_mut() {
+                                *o += val;
+                            }
+                        },
+                    );
+                }
+                Op::MeanAll(a) => {
+                    let shape = head[a.0].value.shape();
+                    let n = (shape.0 * shape.1) as f32;
+                    let val = g.scalar_value() / n;
+                    apply_map(
+                        head,
+                        arena,
+                        *a,
+                        shape,
+                        |_, d| d.fill(val),
+                        |_, d| {
+                            for o in d.data_mut() {
+                                *o += val;
+                            }
+                        },
+                    );
+                }
+                Op::RowSums(a) => {
+                    let shape = head[a.0].value.shape();
+                    apply_map(
+                        head,
+                        arena,
+                        *a,
+                        shape,
+                        |_, d| {
+                            for r in 0..shape.0 {
+                                let gi = g.get(r, 0);
+                                for v in d.row_mut(r) {
+                                    *v = gi;
+                                }
+                            }
+                        },
+                        |_, d| {
+                            for r in 0..shape.0 {
+                                let gi = g.get(r, 0);
+                                for v in d.row_mut(r) {
+                                    *v += gi;
+                                }
+                            }
+                        },
+                    );
+                }
+                Op::ColSums(a) => {
+                    let shape = head[a.0].value.shape();
+                    apply_map(
+                        head,
+                        arena,
+                        *a,
+                        shape,
+                        |_, d| {
+                            for r in 0..shape.0 {
+                                d.row_mut(r).copy_from_slice(g.row(0));
+                            }
+                        },
+                        |_, d| {
+                            for r in 0..shape.0 {
+                                for (o, &x) in d.row_mut(r).iter_mut().zip(g.row(0)) {
+                                    *o += x;
+                                }
+                            }
+                        },
+                    );
+                }
+                Op::ConcatCols(parts) => {
+                    let mut offset = 0;
+                    for &p in parts {
+                        let (pr, w) = head[p.0].value.shape();
+                        apply_map(
+                            head,
+                            arena,
+                            p,
+                            (pr, w),
+                            |_, d| {
+                                for r in 0..pr {
+                                    d.row_mut(r).copy_from_slice(&g.row(r)[offset..offset + w]);
+                                }
+                            },
+                            |_, d| {
+                                for r in 0..pr {
+                                    for (o, &x) in
+                                        d.row_mut(r).iter_mut().zip(&g.row(r)[offset..offset + w])
+                                    {
+                                        *o += x;
+                                    }
+                                }
+                            },
+                        );
+                        offset += w;
+                    }
+                }
+                Op::SliceCols(a, start, end) => {
+                    let shape = head[a.0].value.shape();
+                    let (start, end) = (*start, *end);
+                    apply_sum(head, arena, *a, shape, |_, d| {
+                        for r in 0..shape.0 {
+                            d.row_mut(r)[start..end].copy_from_slice(g.row(r));
+                        }
+                    });
+                }
+                Op::GatherRows(a, indices) => {
+                    // Scatter-add via the kernel layer: updates are bucketed
+                    // by destination row and the chunk plan is update-count
+                    // weighted (work-stealing when one hot embedding row
+                    // draws most of the gradient traffic), so large tables
+                    // accumulate in parallel with the same per-row order
+                    // (and bytes) as the serial loop.
+                    let shape = head[a.0].value.shape();
+                    apply_sum(head, arena, *a, shape, |_, d| {
+                        kernels::scatter_add_rows(d, indices, g)
+                    });
+                }
+                Op::AddRowBroadcast(a, row) => {
+                    apply_map(head, arena, *a, g.shape(), |_, d| d.copy_from(g), |_, d| {
+                        kernels::add_assign(d, g)
+                    });
+                    apply_sum(head, arena, *row, (1, g.cols()), |_, d| {
+                        for r in 0..g.rows() {
+                            for (o, &x) in d.row_mut(0).iter_mut().zip(g.row(r)) {
+                                *o += x;
+                            }
+                        }
+                    });
+                }
+                Op::MulColBroadcast(a, col) => {
+                    apply_map(
+                        head,
+                        arena,
+                        *a,
+                        g.shape(),
+                        |h, d| kernels::mul_col_broadcast_into(d, g, &h[col.0].value),
+                        |h, d| kernels::mul_col_broadcast_acc(d, g, &h[col.0].value),
+                    );
+                    apply_map(
+                        head,
+                        arena,
+                        *col,
+                        (g.rows(), 1),
+                        |h, d| kernels::row_dot_into(d, g, &h[a.0].value),
+                        |h, d| kernels::row_dot_acc(d, g, &h[a.0].value),
+                    );
+                }
+                Op::RowDot(a, b) => {
+                    for (p, o) in [(*a, *b), (*b, *a)] {
+                        let shape = head[o.0].value.shape();
+                        apply_map(
+                            head,
+                            arena,
+                            p,
+                            shape,
+                            |h, d| kernels::mul_col_broadcast_into(d, &h[o.0].value, g),
+                            |h, d| kernels::mul_col_broadcast_acc(d, &h[o.0].value, g),
+                        );
+                    }
+                }
+                Op::Spmm(csr, x) => {
+                    let shape = head[x.0].value.shape();
+                    apply_sum(head, arena, *x, shape, |_, d| kernels::spmm_t_acc(d, csr, g));
+                }
+                Op::SpmmT(csr, x) => {
+                    let shape = head[x.0].value.shape();
+                    apply_sum(head, arena, *x, shape, |_, d| kernels::spmm_acc(d, csr, g));
+                }
+                Op::Dropout(a, mask) => {
+                    apply_map(
+                        head,
+                        arena,
+                        *a,
+                        g.shape(),
+                        |_, d| {
+                            for ((o, &gi), &mi) in
+                                d.data_mut().iter_mut().zip(g.data()).zip(mask.iter())
+                            {
+                                *o = gi * mi;
+                            }
+                        },
+                        |_, d| {
+                            for ((o, &gi), &mi) in
+                                d.data_mut().iter_mut().zip(g.data()).zip(mask.iter())
+                            {
+                                *o += gi * mi;
+                            }
+                        },
+                    );
+                }
             }
         }
     }
 
-    fn accumulate(&mut self, v: Var, m: Matrix) {
-        match &mut self.nodes[v.0].grad {
-            Some(g) => g.add_assign(&m),
-            slot @ None => *slot = Some(m),
-        }
+    /// Moves a node's gradient out of the tape (used by the arena-backed
+    /// gradient extraction to avoid cloning parameter gradients).
+    pub(crate) fn take_grad(&mut self, v: Var) -> Option<Matrix> {
+        self.nodes[v.0].grad.take()
     }
 
-    /// Gradient contributions of node `i` (with output grad `g`) to its
-    /// parents.
-    fn backward_op(&self, i: usize, op: &Op, g: &Matrix) -> Vec<(Var, Matrix)> {
-        let out = &self.nodes[i].value;
-        match op {
-            Op::Leaf => Vec::new(),
-            Op::Add(a, b) => vec![(*a, g.clone()), (*b, g.clone())],
-            Op::Sub(a, b) => vec![(*a, g.clone()), (*b, g.scale(-1.0))],
-            Op::Mul(a, b) => {
-                let da = g.hadamard(self.value(*b));
-                let db = g.hadamard(self.value(*a));
-                vec![(*a, da), (*b, db)]
-            }
-            Op::Scale(a, s) => vec![(*a, g.scale(*s))],
-            Op::AddScalar(a) => vec![(*a, g.clone())],
-            Op::Neg(a) => vec![(*a, g.scale(-1.0))],
-            Op::MatMul(a, b) => {
-                let da = g.matmul_nt(self.value(*b));
-                let db = self.value(*a).matmul_tn(g);
-                vec![(*a, da), (*b, db)]
-            }
-            Op::Transpose(a) => vec![(*a, g.transpose())],
-            Op::Relu(a) => {
-                let da = g.zip_map(out, |gi, yi| if yi > 0.0 { gi } else { 0.0 });
-                vec![(*a, da)]
-            }
-            Op::LeakyRelu(a, slope) => {
-                let x = self.value(*a);
-                let da = g.zip_map(x, |gi, xi| if xi > 0.0 { gi } else { gi * slope });
-                vec![(*a, da)]
-            }
-            Op::Sigmoid(a) => {
-                let da = g.zip_map(out, |gi, yi| gi * yi * (1.0 - yi));
-                vec![(*a, da)]
-            }
-            Op::Tanh(a) => {
-                let da = g.zip_map(out, |gi, yi| gi * (1.0 - yi * yi));
-                vec![(*a, da)]
-            }
-            Op::Exp(a) => vec![(*a, g.hadamard(out))],
-            Op::Ln(a) => {
-                let x = self.value(*a);
-                vec![(*a, g.zip_map(x, |gi, xi| gi / xi))]
-            }
-            Op::Sqr(a) => {
-                let x = self.value(*a);
-                vec![(*a, g.zip_map(x, |gi, xi| 2.0 * gi * xi))]
-            }
-            Op::Softplus(a) => {
-                let x = self.value(*a);
-                vec![(*a, g.zip_map(x, |gi, xi| gi * stats::sigmoid(xi)))]
-            }
-            Op::SoftmaxRows(a) => {
-                // dx = y * (g - rowsum(g * y))
-                let gy = g.hadamard(out);
-                let row_totals = gy.row_sums();
-                let mut da = Matrix::zeros(out.rows(), out.cols());
-                for r in 0..out.rows() {
-                    let t = row_totals.get(r, 0);
-                    let (yrow, grow) = (out.row(r), g.row(r));
-                    let drow = da.row_mut(r);
-                    for c in 0..yrow.len() {
-                        drow[c] = yrow[c] * (grow[c] - t);
-                    }
-                }
-                vec![(*a, da)]
-            }
-            Op::SumAll(a) => {
-                let (r, c) = self.shape(*a);
-                vec![(*a, Matrix::filled(r, c, g.scalar_value()))]
-            }
-            Op::MeanAll(a) => {
-                let (r, c) = self.shape(*a);
-                let n = (r * c) as f32;
-                vec![(*a, Matrix::filled(r, c, g.scalar_value() / n))]
-            }
-            Op::RowSums(a) => {
-                let (r, c) = self.shape(*a);
-                let mut da = Matrix::zeros(r, c);
-                for i in 0..r {
-                    let gi = g.get(i, 0);
-                    for v in da.row_mut(i) {
-                        *v = gi;
-                    }
-                }
-                vec![(*a, da)]
-            }
-            Op::ColSums(a) => {
-                let (r, c) = self.shape(*a);
-                let mut da = Matrix::zeros(r, c);
-                for i in 0..r {
-                    da.row_mut(i).copy_from_slice(g.row(0));
-                }
-                vec![(*a, da)]
-            }
-            Op::ConcatCols(parts) => {
-                let mut offset = 0;
-                let mut contributions = Vec::with_capacity(parts.len());
-                for &p in parts {
-                    let w = self.shape(p).1;
-                    contributions.push((p, g.slice_cols(offset, offset + w)));
-                    offset += w;
-                }
-                contributions
-            }
-            Op::SliceCols(a, start, end) => {
-                let (r, c) = self.shape(*a);
-                let mut da = Matrix::zeros(r, c);
-                for i in 0..r {
-                    da.row_mut(i)[*start..*end].copy_from_slice(g.row(i));
-                }
-                vec![(*a, da)]
-            }
-            Op::GatherRows(a, indices) => {
-                // Scatter-add via the kernel layer: updates are bucketed
-                // by destination row and the chunk plan is update-count
-                // weighted (work-stealing when one hot embedding row
-                // draws most of the gradient traffic), so large tables
-                // accumulate in parallel with the same per-row order
-                // (and bytes) as the serial loop.
-                let (r, c) = self.shape(*a);
-                let mut da = Matrix::zeros(r, c);
-                kernels::scatter_add_rows(&mut da, indices, g);
-                vec![(*a, da)]
-            }
-            Op::AddRowBroadcast(a, row) => vec![(*a, g.clone()), (*row, g.col_sums())],
-            Op::MulColBroadcast(a, col) => {
-                let da = g.mul_col_broadcast(self.value(*col));
-                let dcol = g.row_dot(self.value(*a));
-                vec![(*a, da), (*col, dcol)]
-            }
-            Op::RowDot(a, b) => {
-                let da = self.value(*b).mul_col_broadcast(g);
-                let db = self.value(*a).mul_col_broadcast(g);
-                vec![(*a, da), (*b, db)]
-            }
-            Op::Spmm(csr, x) => vec![(*x, csr.spmm_t(g))],
-            Op::SpmmT(csr, x) => vec![(*x, csr.spmm(g))],
-            Op::Dropout(a, mask) => {
-                let mut da = g.clone();
-                for (v, &m) in da.data_mut().iter_mut().zip(mask.iter()) {
-                    *v *= m;
-                }
-                vec![(*a, da)]
+    /// Returns every remaining gradient buffer to `arena`, so the next
+    /// [`Graph::backward_with`] pass over an equally-shaped tape checks
+    /// them out again instead of allocating.
+    pub fn recycle_grads(&mut self, arena: &Arena) {
+        for n in &mut self.nodes {
+            if let Some(g) = n.grad.take() {
+                arena.checkin(g);
             }
         }
     }
+}
+
+// ----- backward accumulation helpers ----------------------------------
+
+/// Takes the parent's gradient accumulator out of `head`, or checks a
+/// buffer of the right shape out of the arena (contents unspecified).
+/// `true` means the buffer is fresh (this is the node's first
+/// contribution).
+fn take_or_checkout(
+    head: &mut [Node],
+    arena: &Arena,
+    v: Var,
+    (rows, cols): (usize, usize),
+) -> (Matrix, bool) {
+    match head[v.0].grad.take() {
+        Some(d) => (d, false),
+        None => (arena.checkout(rows, cols), true),
+    }
+}
+
+/// Applies a *map-style* contribution, where every element of the
+/// contribution is one fully-formed value: the first contribution
+/// assigns every element of a (dirty) checkout via `into`, and later
+/// contributions fold the identical values in with one add per element
+/// via `acc` — bitwise-equal to materializing the contribution and
+/// `add_assign`ing it.
+fn apply_map(
+    head: &mut [Node],
+    arena: &Arena,
+    v: Var,
+    shape: (usize, usize),
+    into: impl FnOnce(&[Node], &mut Matrix),
+    acc: impl FnOnce(&[Node], &mut Matrix),
+) {
+    let (mut dst, fresh) = take_or_checkout(head, arena, v, shape);
+    if fresh {
+        into(head, &mut dst);
+    } else {
+        acc(head, &mut dst);
+    }
+    head[v.0].grad = Some(dst);
+}
+
+/// Applies a *sum-style* contribution, where the kernel streams partial
+/// sums and therefore must start from zero bytes: the first
+/// contribution streams into a zeroed checkout (exactly the old
+/// freshly-allocated contribution), and later contributions stream into
+/// a zeroed scratch checkout that is `add_assign`ed and returned to the
+/// arena — the historical allocate-then-combine float sequence, minus
+/// the allocation.
+fn apply_sum(
+    head: &mut [Node],
+    arena: &Arena,
+    v: Var,
+    shape: (usize, usize),
+    compute: impl FnOnce(&[Node], &mut Matrix),
+) {
+    let (mut dst, fresh) = take_or_checkout(head, arena, v, shape);
+    if fresh {
+        dst.fill(0.0);
+        compute(head, &mut dst);
+    } else {
+        let mut scratch = arena.checkout_zeroed(shape.0, shape.1);
+        compute(head, &mut scratch);
+        kernels::add_assign(&mut dst, &scratch);
+        arena.checkin(scratch);
+    }
+    head[v.0].grad = Some(dst);
 }
 
 #[cfg(test)]

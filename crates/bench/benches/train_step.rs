@@ -1,0 +1,254 @@
+//! Training-step benchmarks: wall-clock **and exact allocation counts**
+//! for the tape backward + optimizer path, before/after the buffer
+//! arena.
+//!
+//! Like the kernel bench this is a custom harness. It drives the real
+//! GNMR training step (full-graph forward, hinge loss, arena-backed
+//! backward, fused Adam) on a small fixed dataset and batch, in two
+//! variants:
+//!
+//! * `fresh_arena` — a new arena and gradient map every step. Every
+//!   backward buffer is a fresh heap allocation, reproducing the
+//!   pre-arena allocate-per-op behavior (the **before** row).
+//! * `steady_arena` — one arena and gradient map across all steps, the
+//!   way `Gnmr::fit` holds them. After the first warm-up step the
+//!   backward + optimizer region must perform **zero** heap
+//!   allocations (the **after** row).
+//!
+//! Allocation counts come from the counting global allocator installed
+//! by `gnmr_bench::alloc`, taken as a before/after delta around the
+//!   `grads_into` → `clip` → `opt.step` region. Counts are exact
+//! integers, so `results/bench_train_step.json` rows are comparable
+//! across machines — which is why the CI allocation gate
+//! (`--regression-gate`) checks *counts*, not timings, and stays
+//! stable on a shared 1-CPU container.
+//!
+//! Run with `cargo bench -p gnmr-bench --bench train_step`.
+//! `-- --quick-smoke` short-runs every cell and leaves the archive
+//! untouched; `-- --regression-gate` re-measures the steady-state
+//! allocation count and fails if it exceeds the committed baseline.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use gnmr::autograd::{Adam, Arena, Ctx, Grads};
+use gnmr::graph::{BatchSampler, TrainBatch};
+use gnmr::prelude::*;
+use gnmr::tensor::par;
+use gnmr_bench::{alloc, output::results_dir};
+
+/// Target wall-clock per measurement cell.
+const TARGET_MS: u128 = 300;
+
+/// Target wall-clock per cell under `--quick-smoke`.
+const SMOKE_MS: u128 = 5;
+
+/// Steps run before measuring the steady-state variant (warms the
+/// arena, the gradient map, and Adam's moment buffers).
+const WARMUP_STEPS: usize = 3;
+
+struct Record {
+    variant: &'static str,
+    ns_per_iter: u128,
+    allocs_backward_opt: u64,
+}
+
+/// The fixed training workload: a tiny MovieLens-like model plus one
+/// pre-sampled batch, so every measured step does identical work.
+struct Workload {
+    model: Gnmr,
+    batch: TrainBatch,
+    opt: Adam,
+}
+
+fn workload() -> Workload {
+    let data = gnmr::data::presets::tiny_movielens(3);
+    let cfg = GnmrConfig { pretrain: false, seed: 7, ..GnmrConfig::default() };
+    let model = Gnmr::new(&data.graph, cfg);
+    let sampler = BatchSampler::new(&data.graph);
+    let tcfg = TrainConfig::fast_test();
+    let mut rng = gnmr::tensor::rng::substream(7, 0x7212);
+    let batch = sampler.sample(tcfg.batch_users, tcfg.samples_per_user, &mut rng);
+    assert!(!batch.is_empty(), "train_step bench: empty batch");
+    let opt = Adam::new(tcfg.lr).with_weight_decay(tcfg.weight_decay);
+    Workload { model, batch, opt }
+}
+
+/// One full training step (the `Gnmr::fit` inner loop, verbatim shape),
+/// returning the allocation delta of the backward + optimizer region.
+fn train_step(w: &mut Workload, arena: &Arena, grads: &mut Grads) -> u64 {
+    let mut ctx = Ctx::new(w.model.params());
+    let (user_orders, item_orders) = w.model.forward(&mut ctx);
+    let user_all = ctx.g.concat_cols(&user_orders);
+    let item_all = ctx.g.concat_cols(&item_orders);
+    let u = ctx.g.gather_rows(user_all, Arc::new(w.batch.users.clone()));
+    let p = ctx.g.gather_rows(item_all, Arc::new(w.batch.pos_items.clone()));
+    let n = ctx.g.gather_rows(item_all, Arc::new(w.batch.neg_items.clone()));
+    let pos_scores = ctx.g.row_dot(u, p);
+    let neg_scores = ctx.g.row_dot(u, n);
+    let diff = ctx.g.sub(neg_scores, pos_scores);
+    let margin = ctx.g.add_scalar(diff, 1.0);
+    let hinge = ctx.g.relu(margin);
+    let loss = ctx.g.mean(hinge);
+
+    let before = alloc::allocations();
+    ctx.grads_into(loss, arena, grads);
+    drop(ctx);
+    grads.clip_global_norm(5.0);
+    w.opt.step(w.model.params_mut(), grads);
+    alloc::allocations() - before
+}
+
+/// Measures a variant: at least `block_ms` wall-clock and 5 iterations,
+/// returning (ns/iter, allocs of the backward+opt region on the *last*
+/// iteration — steady by then for the shared-arena variant).
+fn measure(w: &mut Workload, block_ms: u128, mut step: impl FnMut(&mut Workload) -> u64) -> (u128, u64) {
+    let start = Instant::now();
+    let mut iters = 0u128;
+    let mut last_allocs = 0u64;
+    while start.elapsed().as_millis() < block_ms || iters < 5 {
+        last_allocs = step(w);
+        iters += 1;
+    }
+    (start.elapsed().as_nanos() / iters.max(1), last_allocs)
+}
+
+/// Runs the steady-arena workload to a settled state and returns the
+/// allocation count of one steady step. Shared by the bench rows and
+/// the regression gate.
+fn steady_state_allocs(w: &mut Workload, arena: &Arena, grads: &mut Grads) -> u64 {
+    let mut allocs = 0;
+    for _ in 0..WARMUP_STEPS {
+        allocs = train_step(w, arena, grads);
+    }
+    allocs
+}
+
+fn to_json(records: &[Record]) -> String {
+    let lines: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"op\": \"train_step\", \"variant\": \"{}\", \"threads\": 1, \
+                 \"ns_per_iter\": {}, \"allocs_backward_opt\": {}}}",
+                r.variant, r.ns_per_iter, r.allocs_backward_opt
+            )
+        })
+        .collect();
+    format!("[\n{}\n]", lines.join(",\n"))
+}
+
+/// Extracts the archived `allocs_backward_opt` for a variant row.
+fn parse_allocs(content: &str, variant: &str) -> Option<u64> {
+    let tag = format!("\"variant\": \"{variant}\"");
+    let line = content.lines().find(|l| l.contains(&tag))?;
+    let key = "\"allocs_backward_opt\": ";
+    let rest = &line[line.find(key)? + key.len()..];
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// `--regression-gate`: re-measures the steady-state allocation count
+/// of the backward + optimizer region and fails (exit 1) if it exceeds
+/// the committed `steady_arena` row in
+/// `results/bench_train_step.json`. Counts are exact (the committed
+/// baseline is 0), so this gate is immune to timing noise and machine
+/// class — any regression is a real allocation someone reintroduced
+/// into the hot path.
+fn regression_gate() -> ! {
+    let path = results_dir().join("bench_train_step.json");
+    let content = match std::fs::read_to_string(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("allocation gate: cannot read baseline {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let Some(baseline) = parse_allocs(&content, "steady_arena") else {
+        eprintln!("allocation gate: steady_arena row missing from {}", path.display());
+        std::process::exit(1);
+    };
+    // Pin one thread: an explicit override keeps kernel dispatch inline
+    // so the measurement is exactly the serial allocation profile the
+    // baseline recorded, regardless of the runner's GNMR_THREADS.
+    par::set_threads(Some(1));
+    let mut w = workload();
+    let arena = Arena::new();
+    let mut grads = Grads::default();
+    let fresh = steady_state_allocs(&mut w, &arena, &mut grads);
+    println!(
+        "steady-state allocation gate: baseline {baseline} allocs/step, fresh {fresh} allocs/step \
+         (backward + optimizer region, 1 thread)"
+    );
+    if fresh > baseline {
+        eprintln!(
+            "allocation gate FAILED: steady-state backward + optimizer now performs {fresh} heap \
+             allocations per step (baseline {baseline})"
+        );
+        std::process::exit(1);
+    }
+    println!("allocation gate passed");
+    std::process::exit(0);
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--regression-gate") {
+        regression_gate();
+    }
+    let smoke = std::env::args().any(|a| a == "--quick-smoke");
+    let block_ms = if smoke { SMOKE_MS } else { TARGET_MS };
+
+    // One thread for determinism of the allocation profile; the tiny
+    // model's kernels sit below the parallel work threshold anyway, and
+    // dispatch-overhead comparisons belong to the kernels bench.
+    par::set_threads(Some(1));
+    println!(
+        "train_step benches — machine parallelism: {} (measuring at 1 thread){}",
+        par::hardware_threads(),
+        if smoke { " (quick smoke)" } else { "" }
+    );
+
+    let mut records = Vec::new();
+
+    // Before row: a cold arena every step reproduces the historical
+    // allocate-per-op backward (every gradient buffer minted fresh).
+    let mut w = workload();
+    let (ns, allocs) = measure(&mut w, block_ms, |w| {
+        let arena = Arena::new();
+        let mut grads = Grads::default();
+        black_box(train_step(w, &arena, &mut grads))
+    });
+    records.push(Record { variant: "fresh_arena", ns_per_iter: ns, allocs_backward_opt: allocs });
+
+    // After row: the fit-shaped steady state — one arena, one gradient
+    // map, buffers recycled forever.
+    let mut w = workload();
+    let arena = Arena::new();
+    let mut grads = Grads::default();
+    let warm = steady_state_allocs(&mut w, &arena, &mut grads);
+    let (ns, allocs) = measure(&mut w, block_ms, |w| black_box(train_step(w, &arena, &mut grads)));
+    records.push(Record { variant: "steady_arena", ns_per_iter: ns, allocs_backward_opt: allocs });
+    assert_eq!(warm, allocs, "steady state drifted between warm-up and measurement");
+
+    println!("\n{:<14} {:>14} {:>22}", "variant", "ns/step", "allocs (bwd+opt)/step");
+    for r in &records {
+        println!("{:<14} {:>14} {:>22}", r.variant, r.ns_per_iter, r.allocs_backward_opt);
+    }
+    let steady = records.last().expect("two records").allocs_backward_opt;
+    if steady == 0 {
+        println!("\nsteady-state backward + optimizer is allocation-free ✓");
+    } else {
+        println!("\nWARNING: steady-state backward + optimizer performed {steady} allocations");
+    }
+
+    if smoke {
+        println!("[quick smoke — results/bench_train_step.json left untouched]");
+        return;
+    }
+    let path = results_dir().join("bench_train_step.json");
+    match std::fs::write(&path, to_json(&records)) {
+        Ok(()) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("warning: failed to write {}: {e}", path.display()),
+    }
+}

@@ -1,0 +1,96 @@
+//! A counting global allocator for allocation-discipline benchmarks.
+//!
+//! The `train_step` bench asserts that the steady-state tape backward +
+//! optimizer path performs **zero** heap allocations (see
+//! `gnmr_tensor::arena`). That claim is only checkable by observing the
+//! allocator itself, so every binary linking `gnmr_bench` installs
+//! [`CountingAllocator`]: a pass-through to [`System`] that bumps a
+//! relaxed atomic on each allocation. Overhead is one uncontended
+//! `fetch_add` per `malloc` — far below timing noise — and counts are
+//! *exact*, which is what lets the CI regression gate compare integers
+//! instead of jittery wall-clock numbers on a shared 1-CPU container.
+//!
+//! Reads are taken as before/after deltas around a measured region
+//! ([`allocations`]); the counter only ever increases (frees are not
+//! tracked — the gate cares about allocator *pressure*, and a region
+//! that allocates-and-frees still pays the allocator).
+//!
+//! This module is the workspace's second, deliberately tiny
+//! `unsafe_code` exception (alongside `gnmr_tensor::par`): the
+//! [`GlobalAlloc`] trait is inherently `unsafe` to implement. Every
+//! method here delegates straight to [`System`] and touches nothing
+//! else, so the unsafe surface is the trait plumbing alone.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Total heap allocations (malloc + realloc + zeroed) since process
+/// start.
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Pass-through [`System`] allocator that counts allocation calls.
+pub struct CountingAllocator;
+
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Heap allocations performed by this process so far. Take a delta
+/// around a region to count its allocations exactly:
+///
+/// ```
+/// let before = gnmr_bench::alloc::allocations();
+/// let v = vec![0u8; 64];
+/// assert!(gnmr_bench::alloc::allocations() > before);
+/// drop(v);
+/// ```
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_observes_allocations() {
+        let before = allocations();
+        let v: Vec<u64> = Vec::with_capacity(32);
+        let after = allocations();
+        assert!(after > before, "allocation not counted");
+        drop(v);
+    }
+
+    #[test]
+    fn alloc_free_regions_can_be_zero() {
+        // Pure arithmetic performs no allocations — the property the
+        // train_step gate relies on.
+        let x = std::hint::black_box(3.5f32);
+        let before = allocations();
+        let y = x * x + 1.0;
+        let after = allocations();
+        std::hint::black_box(y);
+        assert_eq!(before, after);
+    }
+}

@@ -9,6 +9,7 @@
 //! a reduced (but converged-enough) training budget so the full suite
 //! finishes in minutes. Set `GNMR_FULL=1` for the heavier budget.
 
+pub mod alloc;
 pub mod experiments;
 pub mod output;
 pub mod registry;

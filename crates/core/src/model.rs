@@ -5,7 +5,7 @@ use std::sync::Arc;
 use gnmr_autograd::{Ctx, ParamStore, Var};
 use gnmr_eval::Recommender;
 use gnmr_graph::MultiBehaviorGraph;
-use gnmr_tensor::{init, kernels, rng, Csr, Matrix};
+use gnmr_tensor::{init, kernels, rng, Arena, Csr, Matrix};
 
 use crate::config::GnmrConfig;
 use crate::{attention, fusion, pretrain, type_embedding};
@@ -20,6 +20,14 @@ use crate::{attention, fusion, pretrain, type_embedding};
 pub struct Gnmr {
     pub(crate) cfg: GnmrConfig,
     pub(crate) store: ParamStore,
+    /// Gradient-buffer arena shared by every training step the model
+    /// ever runs: the tape's backward pass checks its accumulators out
+    /// of here, so after the first step of the first epoch the entire
+    /// backward + optimizer path is allocation-free (see
+    /// `gnmr_tensor::arena`). Held on the model (not per-`fit`) so
+    /// repeated fits — pretraining sweeps, ablation retrains — stay
+    /// warm too.
+    pub(crate) arena: Arena,
     adj_user_item: Vec<Arc<Csr>>,
     adj_item_user: Vec<Arc<Csr>>,
     n_users: usize,
@@ -75,6 +83,7 @@ impl Gnmr {
         Self {
             cfg,
             store,
+            arena: Arena::new(),
             adj_user_item,
             adj_item_user,
             n_users: graph.n_users(),
@@ -92,6 +101,15 @@ impl Gnmr {
     /// Read access to the parameters.
     pub fn params(&self) -> &ParamStore {
         &self.store
+    }
+
+    /// Mutable access to the parameters (used by external training
+    /// harnesses, e.g. the `train_step` bench, which drives the
+    /// forward/backward/optimizer cycle itself). Mutating parameters
+    /// invalidates any cached representations — call
+    /// [`Gnmr::refresh_representations`] before scoring again.
+    pub fn params_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
     }
 
     /// Number of behavior types the model was built for.

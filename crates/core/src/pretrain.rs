@@ -7,7 +7,7 @@
 //! behaviors, so every behavior contributes signal) and keep the encoder
 //! output as the initial embedding.
 
-use gnmr_autograd::{Activation, Adam, Ctx, Linear, ParamStore};
+use gnmr_autograd::{Activation, Adam, Arena, Ctx, Grads, Linear, ParamStore};
 use gnmr_graph::MultiBehaviorGraph;
 use gnmr_tensor::{rng, Csr, Matrix};
 use rand::seq::SliceRandom;
@@ -51,6 +51,11 @@ fn autoencode(
     let mut order: Vec<u32> = (0..n_entities as u32).collect();
     let mut shuffle_rng = rng::substream(seed, 0xAF);
     let batch = 128.min(n_entities.max(1));
+    // Same allocation discipline as the main trainer: one arena and one
+    // gradient map across all pre-training epochs, so the steady-state
+    // autoencoder step's backward + optimizer path allocates nothing.
+    let arena = Arena::new();
+    let mut grads = Grads::default();
     for _ in 0..epochs {
         order.shuffle(&mut shuffle_rng);
         for chunk in order.chunks(batch) {
@@ -63,7 +68,8 @@ fn autoencode(
             let diff = ctx.g.sub(recon, xv);
             let sq = ctx.g.sqr(diff);
             let loss = ctx.g.mean(sq);
-            let grads = ctx.grads(loss);
+            ctx.grads_into(loss, &arena, &mut grads);
+            drop(ctx);
             opt.step(&mut store, &grads);
         }
     }

@@ -1,0 +1,213 @@
+//! A shape-keyed buffer arena for allocation-free steady-state loops.
+//!
+//! The training hot path issues thousands of small-to-medium kernel
+//! calls per epoch through the autodiff tape, and — before this module
+//! existed — every backward op allocated fresh [`Matrix`] storage. Once
+//! the persistent worker pool drove dispatch overhead to microseconds,
+//! the allocator became the dominant per-step cost. An [`Arena`] breaks
+//! that: callers *check out* matrix storage by shape and *check it back
+//! in* when done, so after a warm-up pass (the first training step of a
+//! run) the steady state recycles the same buffers forever and the
+//! backward + optimizer path performs **zero heap allocations** (the
+//! contract the `train_step` bench's allocation gate pins in CI).
+//!
+//! # Design
+//!
+//! * **Shape-keyed shelves.** Returned buffers are binned by
+//!   `(rows, cols)`. A training step's tape has a fixed shape
+//!   population, so every checkout after warm-up hits a shelf.
+//! * **Dirty checkouts.** [`Arena::checkout`] hands back storage with
+//!   *unspecified contents* — the caller must overwrite every element
+//!   (assign-style kernels do). Accumulation-style kernels, which
+//!   stream partial sums, use [`Arena::checkout_zeroed`]; zeroing a
+//!   recycled buffer writes the same `+0.0` bytes `Matrix::zeros`
+//!   allocates, so results stay bitwise identical to the
+//!   allocate-fresh path.
+//! * **Thread safety.** Shelves sit behind a [`Mutex`], same primitive
+//!   family as the worker pool in [`crate::par`]; checkout/checkin are
+//!   a lock, a `Vec` pop/push, and nothing else. The tape is a serial
+//!   orchestrator, so the lock is uncontended in practice.
+//! * **Scoped reset.** [`Arena::reset`] drops all pooled storage. Call
+//!   it at workload boundaries (a new dataset, a different model
+//!   shape) — *not* per epoch, or the next epoch re-allocates the
+//!   population the arena exists to keep warm.
+//!
+//! Buffers are plain [`Matrix`] values once checked out: forgetting to
+//! check one back in is a lost *reuse*, never a leak or a soundness
+//! issue (the matrix frees normally on drop).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::dense::Matrix;
+
+/// Spare buffers of one shape, newest first.
+type Shelf = Vec<Vec<f32>>;
+
+/// A thread-safe pool of reusable `Matrix` storage, binned by shape.
+///
+/// See the [module docs](self) for the design and the bitwise contract.
+#[derive(Default)]
+pub struct Arena {
+    /// `(rows, cols) -> stack of spare buffers` of exactly that shape.
+    shelves: Mutex<HashMap<(usize, usize), Shelf>>,
+    /// Checkouts served by a fresh heap allocation (shelf was empty).
+    minted: AtomicUsize,
+    /// Checkouts served from a shelf without touching the allocator.
+    reused: AtomicUsize,
+}
+
+impl Arena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out a `rows x cols` matrix whose contents are
+    /// **unspecified** (whatever the previous user left in the buffer).
+    /// Use this for assign-style consumers that overwrite every
+    /// element; use [`Arena::checkout_zeroed`] for accumulators.
+    pub fn checkout(&self, rows: usize, cols: usize) -> Matrix {
+        let recycled = self
+            .shelves
+            .lock()
+            .expect("arena poisoned")
+            .get_mut(&(rows, cols))
+            .and_then(Vec::pop);
+        match recycled {
+            Some(data) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                Matrix::from_vec(rows, cols, data)
+            }
+            None => {
+                self.minted.fetch_add(1, Ordering::Relaxed);
+                Matrix::zeros(rows, cols)
+            }
+        }
+    }
+
+    /// Checks out a `rows x cols` matrix with every element `+0.0` —
+    /// byte-for-byte what `Matrix::zeros` allocates, so accumulation
+    /// kernels streaming into it produce bitwise-identical results to
+    /// the allocate-fresh path.
+    pub fn checkout_zeroed(&self, rows: usize, cols: usize) -> Matrix {
+        let mut m = self.checkout(rows, cols);
+        m.fill(0.0);
+        m
+    }
+
+    /// Returns a matrix's storage to the shelf for its shape, making it
+    /// available to the next same-shape [`Arena::checkout`].
+    pub fn checkin(&self, m: Matrix) {
+        let key = m.shape();
+        self.shelves
+            .lock()
+            .expect("arena poisoned")
+            .entry(key)
+            .or_default()
+            .push(m.into_data());
+    }
+
+    /// Drops every pooled buffer (the shelves themselves stay). Use at
+    /// workload boundaries when the shape population changes; calling
+    /// this inside a steady-state loop defeats the arena.
+    pub fn reset(&self) {
+        self.shelves.lock().expect("arena poisoned").clear();
+    }
+
+    /// Number of checkouts that had to allocate because no same-shape
+    /// buffer was shelved. Flat across steady-state iterations ⇔ the
+    /// loop is allocation-free in its arena traffic.
+    pub fn minted(&self) -> usize {
+        self.minted.load(Ordering::Relaxed)
+    }
+
+    /// Number of checkouts served from a shelf (no allocation).
+    pub fn reused(&self) -> usize {
+        self.reused.load(Ordering::Relaxed)
+    }
+
+    /// Number of buffers currently shelved across all shapes.
+    pub fn pooled(&self) -> usize {
+        self.shelves.lock().expect("arena poisoned").values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_reuses_checked_in_storage() {
+        let arena = Arena::new();
+        let a = arena.checkout(3, 4);
+        assert_eq!(a.shape(), (3, 4));
+        assert_eq!(arena.minted(), 1);
+        arena.checkin(a);
+        assert_eq!(arena.pooled(), 1);
+        let b = arena.checkout(3, 4);
+        assert_eq!(b.shape(), (3, 4));
+        assert_eq!(arena.minted(), 1, "same-shape checkout must not allocate");
+        assert_eq!(arena.reused(), 1);
+        assert_eq!(arena.pooled(), 0);
+    }
+
+    #[test]
+    fn shapes_are_distinct_shelves() {
+        let arena = Arena::new();
+        arena.checkin(Matrix::ones(2, 3));
+        // 3x2 has the same element count but is a different shelf.
+        let m = arena.checkout(3, 2);
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(arena.minted(), 1);
+        assert_eq!(arena.pooled(), 1);
+    }
+
+    #[test]
+    fn zeroed_checkout_matches_fresh_zeros_bitwise() {
+        let arena = Arena::new();
+        arena.checkin(Matrix::filled(2, 2, -3.5));
+        let z = arena.checkout_zeroed(2, 2);
+        let fresh = Matrix::zeros(2, 2);
+        for (a, b) in z.data().iter().zip(fresh.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn reset_drops_pooled_buffers() {
+        let arena = Arena::new();
+        arena.checkin(Matrix::zeros(1, 8));
+        arena.checkin(Matrix::zeros(1, 8));
+        assert_eq!(arena.pooled(), 2);
+        arena.reset();
+        assert_eq!(arena.pooled(), 0);
+        let _ = arena.checkout(1, 8);
+        assert_eq!(arena.minted(), 1);
+    }
+
+    #[test]
+    fn zero_sized_shapes_are_fine() {
+        let arena = Arena::new();
+        let m = arena.checkout_zeroed(0, 5);
+        assert_eq!(m.shape(), (0, 5));
+        arena.checkin(m);
+        let again = arena.checkout(0, 5);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn steady_state_mints_nothing() {
+        let arena = Arena::new();
+        for _ in 0..4 {
+            let a = arena.checkout_zeroed(5, 7);
+            let b = arena.checkout(5, 7);
+            arena.checkin(a);
+            arena.checkin(b);
+        }
+        // Two live at once => two minted total, ever.
+        assert_eq!(arena.minted(), 2);
+        assert_eq!(arena.reused(), 6);
+    }
+}

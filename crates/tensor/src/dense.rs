@@ -232,19 +232,26 @@ impl Matrix {
         kernels::add_assign(self, other);
     }
 
-    /// In-place `self += s * other` (axpy).
+    /// In-place `self += s * other` (axpy; delegates to the fused
+    /// kernel layer, parallel for large matrices).
     pub fn add_scaled_assign(&mut self, other: &Matrix, s: f32) {
-        self.assert_same_shape(other, "add_scaled_assign");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += s * b;
-        }
+        kernels::axpy(self, other, s);
     }
 
-    /// In-place `self *= s`.
+    /// In-place `self *= s` (delegates to the fused kernel layer).
     pub fn scale_assign(&mut self, s: f32) {
-        for a in &mut self.data {
-            *a *= s;
-        }
+        kernels::scale_assign(self, s);
+    }
+
+    /// Overwrites every element with `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+
+    /// Overwrites `self` with the contents of `other` (same shape).
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.assert_same_shape(other, "copy_from");
+        self.data.copy_from_slice(&other.data);
     }
 
     /// Applies `f` to every element, returning a new matrix.

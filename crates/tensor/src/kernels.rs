@@ -307,14 +307,36 @@ pub fn matmul_tn_serial(a: &Matrix, b: &Matrix) -> Matrix {
 /// `a^T * b` on an explicit number of threads (output rows — columns of
 /// `a` — are partitioned across workers).
 pub fn matmul_tn_with(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    matmul_tn_acc_with(&mut out, a, b, threads);
+    out
+}
+
+/// Accumulates `a^T * b` into `dst` on an explicit number of threads —
+/// the arena-checkout form of [`matmul_tn_with`], allocating nothing.
+///
+/// The kernel streams partial sums into `dst` (one add per `i` step),
+/// so results are **bitwise identical to [`matmul_tn_serial`] when
+/// `dst` starts zeroed** — the checkout pattern the autodiff tape uses
+/// ([`crate::arena`]). A non-zero `dst` folds the partial sums into the
+/// existing values progressively; callers needing the exact
+/// materialize-then-`add_assign` float sequence on a non-zero target
+/// should accumulate into a zeroed scratch checkout and `add_assign`
+/// it, which is what the tape does.
+pub fn matmul_tn_acc_with(dst: &mut Matrix, a: &Matrix, b: &Matrix, threads: usize) {
     assert_matmul_tn(a, b);
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut out = Matrix::zeros(k, n);
+    assert_eq!(dst.shape(), (k, n), "matmul_tn_acc: dst is {}x{}, product is {k}x{n}", dst.rows(), dst.cols());
     let (ad, bd) = (a.data(), b.data());
-    par::for_each_row_chunk(out.data_mut(), k, threads, |krows, chunk| {
+    par::for_each_row_chunk(dst.data_mut(), k, threads, |krows, chunk| {
         matmul_tn_rows(ad, m, k, bd, n, krows, chunk);
     });
-    out
+}
+
+/// Accumulates `a^T * b` into `dst` with the shared thread-count
+/// config.
+pub fn matmul_tn_acc(dst: &mut Matrix, a: &Matrix, b: &Matrix) {
+    matmul_tn_acc_with(dst, a, b, auto_threads(a.rows() * a.cols() * b.cols()));
 }
 
 /// `a^T * b` with the shared thread-count config.
@@ -388,14 +410,52 @@ pub fn matmul_nt_serial(a: &Matrix, b: &Matrix) -> Matrix {
 
 /// `a * b^T` on an explicit number of threads.
 pub fn matmul_nt_with(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
-    assert_matmul_nt(a, b);
     let mut out = Matrix::zeros(a.rows(), b.rows());
+    matmul_nt_into_with(&mut out, a, b, threads);
+    out
+}
+
+/// Writes `a * b^T` into `dst` (overwriting every element) on an
+/// explicit number of threads — the arena-checkout form of
+/// [`matmul_nt_with`]. Every output element is an independent register
+/// dot product assigned once, so `dst`'s prior contents never matter
+/// (dirty checkouts are fine) and the bytes match [`matmul_nt_serial`]
+/// exactly.
+pub fn matmul_nt_into_with(dst: &mut Matrix, a: &Matrix, b: &Matrix, threads: usize) {
+    assert_matmul_nt(a, b);
+    let (m, k, p) = (a.rows(), a.cols(), b.rows());
+    assert_eq!(dst.shape(), (m, p), "matmul_nt_into: dst is {}x{}, product is {m}x{p}", dst.rows(), dst.cols());
     let (ad, bd) = (a.data(), b.data());
-    let (k, p) = (a.cols(), b.rows());
-    par::for_each_row_chunk(out.data_mut(), a.rows(), threads, |rows, chunk| {
+    par::for_each_row_chunk(dst.data_mut(), m, threads, |rows, chunk| {
         matmul_nt_rows(ad, k, bd, p, rows, chunk);
     });
-    out
+}
+
+/// Writes `a * b^T` into `dst` with the shared thread-count config.
+pub fn matmul_nt_into(dst: &mut Matrix, a: &Matrix, b: &Matrix) {
+    matmul_nt_into_with(dst, a, b, auto_threads(a.rows() * a.cols() * b.rows()));
+}
+
+/// Accumulates `a * b^T` into `dst` (`dst += a * b^T`) on an explicit
+/// number of threads. Each output element's dot product is fully
+/// accumulated in a register (ascending `k`, exactly the
+/// [`matmul_nt_serial`] order) and then folded into `dst` with a
+/// single add — bitwise identical to materializing the product and
+/// `add_assign`ing it, for **any** `dst` contents, without allocating.
+pub fn matmul_nt_acc_with(dst: &mut Matrix, a: &Matrix, b: &Matrix, threads: usize) {
+    assert_matmul_nt(a, b);
+    let (m, k, p) = (a.rows(), a.cols(), b.rows());
+    assert_eq!(dst.shape(), (m, p), "matmul_nt_acc: dst is {}x{}, product is {m}x{p}", dst.rows(), dst.cols());
+    let (ad, bd) = (a.data(), b.data());
+    par::for_each_row_chunk(dst.data_mut(), m, threads, |rows, chunk| {
+        matmul_nt_acc_rows(ad, k, bd, p, rows, chunk);
+    });
+}
+
+/// Accumulates `a * b^T` into `dst` with the shared thread-count
+/// config.
+pub fn matmul_nt_acc(dst: &mut Matrix, a: &Matrix, b: &Matrix) {
+    matmul_nt_acc_with(dst, a, b, auto_threads(a.rows() * a.cols() * b.rows()));
 }
 
 /// `a * b^T` with the shared thread-count config.
@@ -446,6 +506,81 @@ fn matmul_nt_rows(a: &[f32], k: usize, b: &[f32], p: usize, rows: Range<usize>, 
     }
 }
 
+/// The accumulate twin of [`matmul_nt_rows`]: identical register dot
+/// products (same 4× unroll, same ascending-`k` accumulation), but the
+/// fully-formed dot is *added* to the output element instead of
+/// assigned — one add per element, matching the
+/// materialize-then-`add_assign` float sequence exactly.
+fn matmul_nt_acc_rows(a: &[f32], k: usize, b: &[f32], p: usize, rows: Range<usize>, out: &mut [f32]) {
+    for (local, i) in rows.enumerate() {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[local * p..(local + 1) * p];
+        let mut j = 0usize;
+        while j + MICRO_MR <= p {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let (mut acc0, mut acc1, mut acc2, mut acc3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for ((((&x, &y0), &y1), &y2), &y3) in
+                arow.iter().zip(b0).zip(b1).zip(b2).zip(b3)
+            {
+                acc0 += x * y0;
+                acc1 += x * y1;
+                acc2 += x * y2;
+                acc3 += x * y3;
+            }
+            orow[j] += acc0;
+            orow[j + 1] += acc1;
+            orow[j + 2] += acc2;
+            orow[j + 3] += acc3;
+            j += MICRO_MR;
+        }
+        for j in j..p {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            orow[j] += acc;
+        }
+    }
+}
+
+/// Accumulates `a * b` into `dst` (`dst += a * b`) on an explicit
+/// number of threads. Like [`matmul_nt_acc_with`], every output
+/// element's product sum is completed in a register (ascending `k`,
+/// the [`matmul_serial`] per-element order) before a single add into
+/// `dst`, so the result is bitwise identical to
+/// materialize-then-`add_assign` for any `dst` — the fused form of
+/// the tape's allocate-then-combine gradient accumulation. (The
+/// forward-product entry points keep the streaming i-k-j kernel,
+/// which has better locality when the target starts zeroed.)
+pub fn matmul_acc_with(dst: &mut Matrix, a: &Matrix, b: &Matrix, threads: usize) {
+    assert_matmul(a, b);
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    assert_eq!(dst.shape(), (m, n), "matmul_acc: dst is {}x{}, product is {m}x{n}", dst.rows(), dst.cols());
+    let (ad, bd) = (a.data(), b.data());
+    par::for_each_row_chunk(dst.data_mut(), m, threads, |rows, chunk| {
+        for (local, i) in rows.enumerate() {
+            let arow = &ad[i * k..(i + 1) * k];
+            let orow = &mut chunk[local * n..(local + 1) * n];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let mut acc = 0.0f32;
+                for (kk, &av) in arow.iter().enumerate() {
+                    acc += av * bd[kk * n + j];
+                }
+                *o += acc;
+            }
+        }
+    });
+}
+
+/// Accumulates `a * b` into `dst` with the shared thread-count config.
+pub fn matmul_acc(dst: &mut Matrix, a: &Matrix, b: &Matrix) {
+    matmul_acc_with(dst, a, b, auto_threads(a.rows() * a.cols() * b.cols()));
+}
+
 // ----- sparse matmul --------------------------------------------------
 
 fn assert_spmm(csr: &Csr, dense: &Matrix) {
@@ -477,19 +612,44 @@ pub fn spmm_serial(csr: &Csr, dense: &Matrix) -> Matrix {
 /// output row is still produced by exactly one thread in the serial
 /// accumulation order.
 pub fn spmm_with(csr: &Csr, dense: &Matrix, threads: usize) -> Matrix {
+    let mut out = Matrix::zeros(csr.rows(), dense.cols());
+    spmm_acc_with(&mut out, csr, dense, threads);
+    out
+}
+
+/// Accumulates the sparse x dense product into `dst` on an explicit
+/// number of threads — the arena-checkout form of [`spmm_with`],
+/// allocating nothing. Streams per-entry partial sums into `dst`, so
+/// results are **bitwise identical to [`spmm_serial`] when `dst`
+/// starts zeroed** (the tape's checkout pattern); accumulate into a
+/// zeroed scratch and `add_assign` for the materialize-then-add float
+/// sequence on a non-zero target.
+pub fn spmm_acc_with(dst: &mut Matrix, csr: &Csr, dense: &Matrix, threads: usize) {
     assert_spmm(csr, dense);
     let d = dense.cols();
-    let mut out = Matrix::zeros(csr.rows(), d);
+    assert_eq!(
+        dst.shape(),
+        (csr.rows(), d),
+        "spmm_acc: dst is {}x{}, product is {}x{d}",
+        dst.rows(),
+        dst.cols(),
+        csr.rows()
+    );
     let dd = dense.data();
     if threads <= 1 || csr.rows() == 0 {
-        spmm_rows(csr, dd, d, 0..csr.rows(), out.data_mut());
-        return out;
+        spmm_rows(csr, dd, d, 0..csr.rows(), dst.data_mut());
+        return;
     }
     let (ranges, schedule) = span_plan(csr.indptr(), threads);
-    par::for_each_row_chunk_ranges(out.data_mut(), csr.rows(), &ranges, threads, schedule, |rows, chunk| {
+    par::for_each_row_chunk_ranges(dst.data_mut(), csr.rows(), &ranges, threads, schedule, |rows, chunk| {
         spmm_rows(csr, dd, d, rows, chunk);
     });
-    out
+}
+
+/// Accumulates the sparse x dense product into `dst` with the shared
+/// thread-count config.
+pub fn spmm_acc(dst: &mut Matrix, csr: &Csr, dense: &Matrix) {
+    spmm_acc_with(dst, csr, dense, auto_threads(csr.nnz() * dense.cols()));
 }
 
 /// Sparse x dense product with the shared thread-count config.
@@ -545,9 +705,27 @@ pub fn spmm_t_serial(csr: &Csr, dense: &Matrix) -> Matrix {
 /// scatter's accumulation order, so results stay bitwise identical to
 /// [`spmm_t_serial`] at every thread count.
 pub fn spmm_t_with(csr: &Csr, dense: &Matrix, threads: usize) -> Matrix {
+    let mut out = Matrix::zeros(csr.cols(), dense.cols());
+    spmm_t_acc_with(&mut out, csr, dense, threads);
+    out
+}
+
+/// Accumulates `csr^T * dense` into `dst` on an explicit number of
+/// threads — the arena-checkout form of [`spmm_t_with`], allocating
+/// nothing beyond the lazily cached column-major index the parallel
+/// path already shares. Same bitwise contract as [`spmm_acc_with`]:
+/// identical to [`spmm_t_serial`] when `dst` starts zeroed.
+pub fn spmm_t_acc_with(dst: &mut Matrix, csr: &Csr, dense: &Matrix, threads: usize) {
     assert_spmm_t(csr, dense);
     let d = dense.cols();
-    let mut out = Matrix::zeros(csr.cols(), d);
+    assert_eq!(
+        dst.shape(),
+        (csr.cols(), d),
+        "spmm_t_acc: dst is {}x{}, product is {}x{d}",
+        dst.rows(),
+        dst.cols(),
+        csr.cols()
+    );
     let dd = dense.data();
     // Plan and dispatch with the parallelism the call will actually
     // get — the same count `Csr::prewarm_spmm_t` plans with, so the
@@ -560,8 +738,8 @@ pub fn spmm_t_with(csr: &Csr, dense: &Matrix, threads: usize) -> Matrix {
     // their different access patterns when threads actually run
     // concurrently.
     if threads <= 1 || csr.cols() == 0 || csr.nnz() == 0 {
-        spmm_t_cols(csr, dd, d, 0..csr.cols(), out.data_mut());
-        return out;
+        spmm_t_cols(csr, dd, d, 0..csr.cols(), dst.data_mut());
+        return;
     }
     // Plan from the cheap column span table (O(cols), cached); the
     // full O(nnz) column-major permutation is only materialized when
@@ -574,7 +752,7 @@ pub fn spmm_t_with(csr: &Csr, dense: &Matrix, threads: usize) -> Matrix {
         // low chunk count has better locality than column-major entry
         // streaming and was never the shape that trailed serial.
         Schedule::Static => {
-            par::for_each_row_chunk_ranges(out.data_mut(), csr.cols(), &ranges, threads, schedule, |crange, chunk| {
+            par::for_each_row_chunk_ranges(dst.data_mut(), csr.cols(), &ranges, threads, schedule, |crange, chunk| {
                 spmm_t_cols(csr, dd, d, crange, chunk);
             });
         }
@@ -585,10 +763,10 @@ pub fn spmm_t_with(csr: &Csr, dense: &Matrix, threads: usize) -> Matrix {
         // serializing the call.
         Schedule::Stealing => {
             if d == 0 {
-                return out;
+                return;
             }
             let csc = csr.csc();
-            par::for_each_row_chunk_ranges(out.data_mut(), csr.cols(), &ranges, threads, schedule, |crange, chunk| {
+            par::for_each_row_chunk_ranges(dst.data_mut(), csr.cols(), &ranges, threads, schedule, |crange, chunk| {
                 // Running split cursors instead of per-column range
                 // slicing: on wide catalogs most columns hold zero or
                 // one entry, so per-column bookkeeping (not arithmetic)
@@ -613,13 +791,18 @@ pub fn spmm_t_with(csr: &Csr, dense: &Matrix, threads: usize) -> Matrix {
             });
         }
     }
-    out
 }
 
 /// `csr^T * dense` with the shared thread-count config.
 pub fn spmm_t(csr: &Csr, dense: &Matrix) -> Matrix {
     assert_spmm_t(csr, dense);
     spmm_t_with(csr, dense, auto_threads(csr.nnz() * dense.cols()))
+}
+
+/// Accumulates `csr^T * dense` into `dst` with the shared thread-count
+/// config.
+pub fn spmm_t_acc(dst: &mut Matrix, csr: &Csr, dense: &Matrix) {
+    spmm_t_acc_with(dst, csr, dense, auto_threads(csr.nnz() * dense.cols()));
 }
 
 fn spmm_t_cols(csr: &Csr, dense: &[f32], d: usize, crange: Range<usize>, out: &mut [f32]) {
@@ -667,6 +850,333 @@ pub fn add_assign_with(dst: &mut Matrix, src: &Matrix, threads: usize) {
 pub fn add_assign(dst: &mut Matrix, src: &Matrix) {
     let work = dst.len();
     add_assign_with(dst, src, auto_threads(work));
+}
+
+// ----- fused in-place elementwise kernels -----------------------------
+//
+// The arena-backed backward pass replaces its allocate-then-combine
+// pattern (`tmp = f(g); dst.add_assign(&tmp)`) with these fused forms.
+// Every kernel below hands each output element exactly one
+// fully-formed value (assigned by the `*_into` forms, folded in with a
+// single add by the `*_acc`/axpy forms), so results are bitwise
+// identical to the allocating two-step sequence at every thread count
+// and for any destination contents. Elementwise work is
+// embarrassingly parallel: chunks partition the flat buffer and any
+// partition yields the same bytes.
+
+fn assert_same_shape(dst: &Matrix, src: &Matrix, op: &str) {
+    assert_eq!(
+        dst.shape(),
+        src.shape(),
+        "{op}: shape mismatch {}x{} vs {}x{}",
+        dst.rows(),
+        dst.cols(),
+        src.rows(),
+        src.cols()
+    );
+}
+
+/// In-place `dst += s * src` (axpy) on an explicit number of threads.
+pub fn axpy_with(dst: &mut Matrix, src: &Matrix, s: f32, threads: usize) {
+    assert_same_shape(dst, src, "axpy");
+    let n = dst.len();
+    let sd = src.data();
+    par::for_each_row_chunk(dst.data_mut(), n, threads, |range, chunk| {
+        for (o, &x) in chunk.iter_mut().zip(&sd[range]) {
+            *o += x * s;
+        }
+    });
+}
+
+/// In-place `dst += s * src` with the shared thread-count config.
+pub fn axpy(dst: &mut Matrix, src: &Matrix, s: f32) {
+    let work = dst.len();
+    axpy_with(dst, src, s, auto_threads(work));
+}
+
+/// `dst = s * src` (overwriting every element, so dirty arena
+/// checkouts are fine) on an explicit number of threads.
+pub fn scale_into_with(dst: &mut Matrix, src: &Matrix, s: f32, threads: usize) {
+    assert_same_shape(dst, src, "scale_into");
+    let n = dst.len();
+    let sd = src.data();
+    par::for_each_row_chunk(dst.data_mut(), n, threads, |range, chunk| {
+        for (o, &x) in chunk.iter_mut().zip(&sd[range]) {
+            *o = x * s;
+        }
+    });
+}
+
+/// `dst = s * src` with the shared thread-count config.
+pub fn scale_into(dst: &mut Matrix, src: &Matrix, s: f32) {
+    let work = dst.len();
+    scale_into_with(dst, src, s, auto_threads(work));
+}
+
+/// In-place `dst *= s` on an explicit number of threads.
+pub fn scale_assign_with(dst: &mut Matrix, s: f32, threads: usize) {
+    let n = dst.len();
+    par::for_each_row_chunk(dst.data_mut(), n, threads, |_, chunk| {
+        for o in chunk {
+            *o *= s;
+        }
+    });
+}
+
+/// In-place `dst *= s` with the shared thread-count config.
+pub fn scale_assign(dst: &mut Matrix, s: f32) {
+    let work = dst.len();
+    scale_assign_with(dst, s, auto_threads(work));
+}
+
+/// In-place Hadamard product `dst *= src` on an explicit number of
+/// threads.
+pub fn hadamard_assign_with(dst: &mut Matrix, src: &Matrix, threads: usize) {
+    assert_same_shape(dst, src, "hadamard_assign");
+    let n = dst.len();
+    let sd = src.data();
+    par::for_each_row_chunk(dst.data_mut(), n, threads, |range, chunk| {
+        for (o, &x) in chunk.iter_mut().zip(&sd[range]) {
+            *o *= x;
+        }
+    });
+}
+
+/// In-place Hadamard product `dst *= src` with the shared thread-count
+/// config.
+pub fn hadamard_assign(dst: &mut Matrix, src: &Matrix) {
+    let work = dst.len();
+    hadamard_assign_with(dst, src, auto_threads(work));
+}
+
+/// In-place zip `dst[i] = f(dst[i], src[i])` on an explicit number of
+/// threads. `f` must be pure — chunks may evaluate it in any order.
+pub fn zip_map_assign_with<F>(dst: &mut Matrix, src: &Matrix, f: F, threads: usize)
+where
+    F: Fn(f32, f32) -> f32 + Sync,
+{
+    assert_same_shape(dst, src, "zip_map_assign");
+    let n = dst.len();
+    let sd = src.data();
+    par::for_each_row_chunk(dst.data_mut(), n, threads, |range, chunk| {
+        for (o, &x) in chunk.iter_mut().zip(&sd[range]) {
+            *o = f(*o, x);
+        }
+    });
+}
+
+/// In-place zip `dst[i] = f(dst[i], src[i])` with the shared
+/// thread-count config.
+pub fn zip_map_assign<F>(dst: &mut Matrix, src: &Matrix, f: F)
+where
+    F: Fn(f32, f32) -> f32 + Sync,
+{
+    let work = dst.len();
+    zip_map_assign_with(dst, src, f, auto_threads(work));
+}
+
+/// `dst[i] = f(a[i], b[i])` (overwrites every element; dirty arena
+/// checkouts are fine) on an explicit number of threads.
+pub fn zip_map_into_with<F>(dst: &mut Matrix, a: &Matrix, b: &Matrix, f: F, threads: usize)
+where
+    F: Fn(f32, f32) -> f32 + Sync,
+{
+    assert_same_shape(dst, a, "zip_map_into");
+    assert_same_shape(a, b, "zip_map_into");
+    let n = dst.len();
+    let (ad, bd) = (a.data(), b.data());
+    par::for_each_row_chunk(dst.data_mut(), n, threads, |range, chunk| {
+        for ((o, &x), &y) in chunk.iter_mut().zip(&ad[range.clone()]).zip(&bd[range]) {
+            *o = f(x, y);
+        }
+    });
+}
+
+/// `dst[i] = f(a[i], b[i])` with the shared thread-count config.
+pub fn zip_map_into<F>(dst: &mut Matrix, a: &Matrix, b: &Matrix, f: F)
+where
+    F: Fn(f32, f32) -> f32 + Sync,
+{
+    let work = dst.len();
+    zip_map_into_with(dst, a, b, f, auto_threads(work));
+}
+
+/// `dst[i] += f(a[i], b[i])` — one add of a fully-formed value per
+/// element, bitwise-equal to materializing `f(a, b)` and
+/// `add_assign`ing it — on an explicit number of threads.
+pub fn zip_map_acc_with<F>(dst: &mut Matrix, a: &Matrix, b: &Matrix, f: F, threads: usize)
+where
+    F: Fn(f32, f32) -> f32 + Sync,
+{
+    assert_same_shape(dst, a, "zip_map_acc");
+    assert_same_shape(a, b, "zip_map_acc");
+    let n = dst.len();
+    let (ad, bd) = (a.data(), b.data());
+    par::for_each_row_chunk(dst.data_mut(), n, threads, |range, chunk| {
+        for ((o, &x), &y) in chunk.iter_mut().zip(&ad[range.clone()]).zip(&bd[range]) {
+            *o += f(x, y);
+        }
+    });
+}
+
+/// `dst[i] += f(a[i], b[i])` with the shared thread-count config.
+pub fn zip_map_acc<F>(dst: &mut Matrix, a: &Matrix, b: &Matrix, f: F)
+where
+    F: Fn(f32, f32) -> f32 + Sync,
+{
+    let work = dst.len();
+    zip_map_acc_with(dst, a, b, f, auto_threads(work));
+}
+
+/// `dst = src^T` (overwrites every element) — the assign form of the
+/// transpose backward contribution.
+pub fn transpose_into(dst: &mut Matrix, src: &Matrix) {
+    assert_eq!(
+        (dst.rows(), dst.cols()),
+        (src.cols(), src.rows()),
+        "transpose_into: dst is {}x{}, transpose is {}x{}",
+        dst.rows(),
+        dst.cols(),
+        src.cols(),
+        src.rows()
+    );
+    let (r, c) = (src.rows(), src.cols());
+    let sd = src.data();
+    let dd = dst.data_mut();
+    for i in 0..r {
+        for j in 0..c {
+            dd[j * r + i] = sd[i * c + j];
+        }
+    }
+}
+
+/// `dst += src^T` — one add of a fully-formed value per element,
+/// bitwise-equal to materializing the transpose and `add_assign`ing.
+pub fn transpose_acc(dst: &mut Matrix, src: &Matrix) {
+    assert_eq!(
+        (dst.rows(), dst.cols()),
+        (src.cols(), src.rows()),
+        "transpose_acc: dst is {}x{}, transpose is {}x{}",
+        dst.rows(),
+        dst.cols(),
+        src.cols(),
+        src.rows()
+    );
+    let (r, c) = (src.rows(), src.cols());
+    let sd = src.data();
+    let dd = dst.data_mut();
+    for i in 0..r {
+        for j in 0..c {
+            dd[j * r + i] += sd[i * c + j];
+        }
+    }
+}
+
+fn assert_mul_col(dst: &Matrix, src: &Matrix, col: &Matrix, op: &str) {
+    assert_eq!(dst.shape(), src.shape(), "{op}: dst/src shape mismatch");
+    assert_eq!(col.shape(), (src.rows(), 1), "{op}: col must be {}x1", src.rows());
+}
+
+/// `dst[r, c] = src[r, c] * col[r]` — the assign form of
+/// `src.mul_col_broadcast(col)` (overwrites every element; dirty arena
+/// checkouts are fine). Serial: the tape's broadcast backward rows are
+/// too small to amortize dispatch.
+pub fn mul_col_broadcast_into(dst: &mut Matrix, src: &Matrix, col: &Matrix) {
+    assert_mul_col(dst, src, col, "mul_col_broadcast_into");
+    for r in 0..src.rows() {
+        let s = col.get(r, 0);
+        for (o, &x) in dst.row_mut(r).iter_mut().zip(src.row(r)) {
+            *o = x * s;
+        }
+    }
+}
+
+/// `dst[r, c] += src[r, c] * col[r]` — one add of a fully-formed value
+/// per element, bitwise-equal to materializing the broadcast product
+/// and `add_assign`ing it.
+pub fn mul_col_broadcast_acc(dst: &mut Matrix, src: &Matrix, col: &Matrix) {
+    assert_mul_col(dst, src, col, "mul_col_broadcast_acc");
+    for r in 0..src.rows() {
+        let s = col.get(r, 0);
+        for (o, &x) in dst.row_mut(r).iter_mut().zip(src.row(r)) {
+            *o += x * s;
+        }
+    }
+}
+
+fn assert_row_dot(dst: &Matrix, a: &Matrix, b: &Matrix, op: &str) {
+    assert_eq!(a.shape(), b.shape(), "{op}: operand shape mismatch");
+    assert_eq!(dst.shape(), (a.rows(), 1), "{op}: dst must be {}x1", a.rows());
+}
+
+/// `dst[r, 0] = sum_c a[r, c] * b[r, c]` — the assign form of
+/// `a.row_dot(b)`, accumulated per row in a register in ascending
+/// column order (the serial reference order).
+pub fn row_dot_into(dst: &mut Matrix, a: &Matrix, b: &Matrix) {
+    assert_row_dot(dst, a, b, "row_dot_into");
+    for r in 0..a.rows() {
+        let mut s = 0.0f32;
+        for (&x, &y) in a.row(r).iter().zip(b.row(r)) {
+            s += x * y;
+        }
+        dst.data_mut()[r] = s;
+    }
+}
+
+/// `dst[r, 0] += sum_c a[r, c] * b[r, c]` — the fully-formed dot is
+/// folded in with a single add per row, bitwise-equal to materializing
+/// `a.row_dot(b)` and `add_assign`ing it.
+pub fn row_dot_acc(dst: &mut Matrix, a: &Matrix, b: &Matrix) {
+    assert_row_dot(dst, a, b, "row_dot_acc");
+    for r in 0..a.rows() {
+        let mut s = 0.0f32;
+        for (&x, &y) in a.row(r).iter().zip(b.row(r)) {
+            s += x * y;
+        }
+        dst.data_mut()[r] += s;
+    }
+}
+
+fn assert_softmax_backward(dst: &Matrix, g: &Matrix, y: &Matrix, op: &str) {
+    assert_eq!(g.shape(), y.shape(), "{op}: grad/output shape mismatch");
+    assert_eq!(dst.shape(), y.shape(), "{op}: dst shape mismatch");
+}
+
+/// Row-softmax backward, assign form: `dst = y * (g - rowsum(g * y))`.
+/// The row total is a register accumulation of `g[c] * y[c]` in
+/// ascending column order — the same values and order a materialized
+/// `g.hadamard(y).row_sums()` adds — so bytes match the
+/// allocate-then-combine reference exactly.
+pub fn softmax_rows_backward_into(dst: &mut Matrix, g: &Matrix, y: &Matrix) {
+    assert_softmax_backward(dst, g, y, "softmax_rows_backward_into");
+    for r in 0..y.rows() {
+        let (yrow, grow) = (y.row(r), g.row(r));
+        let mut t = 0.0f32;
+        for (&gv, &yv) in grow.iter().zip(yrow) {
+            t += gv * yv;
+        }
+        let drow = dst.row_mut(r);
+        for c in 0..yrow.len() {
+            drow[c] = yrow[c] * (grow[c] - t);
+        }
+    }
+}
+
+/// Row-softmax backward, accumulate form: `dst += y * (g - rowsum(g *
+/// y))`, one add of a fully-formed value per element.
+pub fn softmax_rows_backward_acc(dst: &mut Matrix, g: &Matrix, y: &Matrix) {
+    assert_softmax_backward(dst, g, y, "softmax_rows_backward_acc");
+    for r in 0..y.rows() {
+        let (yrow, grow) = (y.row(r), g.row(r));
+        let mut t = 0.0f32;
+        for (&gv, &yv) in grow.iter().zip(yrow) {
+            t += gv * yv;
+        }
+        let drow = dst.row_mut(r);
+        for c in 0..yrow.len() {
+            drow[c] += yrow[c] * (grow[c] - t);
+        }
+    }
 }
 
 /// Scatter-add: `dst.row(indices[o]) += src.row(o)` for every `o`, on

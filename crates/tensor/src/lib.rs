@@ -19,6 +19,7 @@
 //!   (`GNMR_THREADS` / [`par::set_threads`]) and parallel results are
 //!   bitwise identical to the serial reference (see [`kernels`]).
 
+pub mod arena;
 pub mod dense;
 pub mod init;
 pub mod kernels;
@@ -27,5 +28,6 @@ pub mod rng;
 pub mod sparse;
 pub mod stats;
 
+pub use arena::Arena;
 pub use dense::Matrix;
 pub use sparse::{Coo, Csr};

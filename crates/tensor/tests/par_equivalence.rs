@@ -226,6 +226,265 @@ proptest! {
     }
 }
 
+// ----- fused in-place kernels (arena path) ----------------------------
+//
+// Every `*_assign` / `*_acc` / `*_into` kernel must be bitwise-equal to
+// its allocate-then-combine reference (materialize the contribution,
+// then `+=` it element-wise — spelled out as plain loops below so the
+// reference never shares code with the kernel under test). The
+// fully-fused kernels hold that contract for ANY destination contents;
+// the streaming accumulators (`matmul_tn_acc`, `spmm_acc`,
+// `spmm_t_acc`) hold it for the zeroed checkouts the tape feeds them,
+// where the reference degenerates to the allocating kernel itself.
+
+/// `(dst, src)` with matching shapes for the elementwise fused kernels.
+fn elementwise_inputs() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (0usize..10, 0usize..10).prop_flat_map(|(r, c)| (matrix(r, c), matrix(r, c)))
+}
+
+/// `(a, b, dst)` for `dst += a * b` (dst is `m x n`).
+fn matmul_acc_inputs() -> impl Strategy<Value = (Matrix, Matrix, Matrix)> {
+    (0usize..10, 0usize..10, 0usize..10)
+        .prop_flat_map(|(m, k, n)| (matrix(m, k), matrix(k, n), matrix(m, n)))
+}
+
+/// `(a, b, dst)` for `dst += a * b^T` (dst is `m x p`).
+fn nt_acc_inputs() -> impl Strategy<Value = (Matrix, Matrix, Matrix)> {
+    (0usize..10, 0usize..10, 0usize..10)
+        .prop_flat_map(|(m, k, p)| (matrix(m, k), matrix(p, k), matrix(m, p)))
+}
+
+proptest! {
+    #[test]
+    fn axpy_matches_allocate_then_combine(
+        (dst0, src) in elementwise_inputs(),
+        s in -3.0f32..3.0,
+    ) {
+        // Reference: tmp = src * s (materialized), then dst += tmp.
+        let mut expected = dst0.clone();
+        for (e, &x) in expected.data_mut().iter_mut().zip(src.data()) {
+            let tmp = x * s;
+            *e += tmp;
+        }
+        for &t in &THREADS {
+            let mut dst = dst0.clone();
+            kernels::axpy_with(&mut dst, &src, s, t);
+            prop_assert_eq!(dst.data(), expected.data(), "threads={}", t);
+        }
+    }
+
+    #[test]
+    fn scale_kernels_match_reference(
+        (dst0, src) in elementwise_inputs(),
+        s in -3.0f32..3.0,
+    ) {
+        let scaled = src.scale(s);
+        for &t in &THREADS {
+            // scale_into overwrites a dirty buffer completely.
+            let mut dirty = dst0.clone();
+            kernels::scale_into_with(&mut dirty, &src, s, t);
+            prop_assert_eq!(dirty.data(), scaled.data(), "scale_into threads={}", t);
+            // scale_assign == materializing self * s.
+            let mut dst = dst0.clone();
+            let expected = dst0.scale(s);
+            kernels::scale_assign_with(&mut dst, s, t);
+            prop_assert_eq!(dst.data(), expected.data(), "scale_assign threads={}", t);
+        }
+    }
+
+    #[test]
+    fn hadamard_assign_matches_reference((dst0, src) in elementwise_inputs()) {
+        let expected = dst0.hadamard(&src);
+        for &t in &THREADS {
+            let mut dst = dst0.clone();
+            kernels::hadamard_assign_with(&mut dst, &src, t);
+            prop_assert_eq!(dst.data(), expected.data(), "threads={}", t);
+        }
+    }
+
+    #[test]
+    fn zip_map_family_matches_reference((dst0, src) in elementwise_inputs()) {
+        let f = |a: f32, b: f32| if b > 0.0 { a } else { a * 0.25 };
+        // zip_map_assign == materialized zip_map over (dst, src).
+        let expected_assign = dst0.zip_map(&src, f);
+        // zip_map_acc == materialize f(dst0, src) then dst0 += it.
+        let mut expected_acc = dst0.clone();
+        for ((e, &a), &b) in expected_acc.data_mut().iter_mut().zip(dst0.data()).zip(src.data()) {
+            let tmp = f(a, b);
+            *e += tmp;
+        }
+        for &t in &THREADS {
+            let mut dst = dst0.clone();
+            kernels::zip_map_assign_with(&mut dst, &src, f, t);
+            prop_assert_eq!(dst.data(), expected_assign.data(), "assign threads={}", t);
+
+            let mut dirty = src.clone();
+            kernels::zip_map_into_with(&mut dirty, &dst0, &src, f, t);
+            prop_assert_eq!(dirty.data(), expected_assign.data(), "into threads={}", t);
+
+            let mut acc = dst0.clone();
+            kernels::zip_map_acc_with(&mut acc, &dst0, &src, f, t);
+            prop_assert_eq!(acc.data(), expected_acc.data(), "acc threads={}", t);
+        }
+    }
+
+    #[test]
+    fn matmul_acc_matches_allocate_then_combine((a, b, dst0) in matmul_acc_inputs()) {
+        let product = kernels::matmul_serial(&a, &b);
+        let mut expected = dst0.clone();
+        for (e, &x) in expected.data_mut().iter_mut().zip(product.data()) {
+            *e += x;
+        }
+        for &t in &THREADS {
+            let mut dst = dst0.clone();
+            kernels::matmul_acc_with(&mut dst, &a, &b, t);
+            prop_assert_eq!(dst.data(), expected.data(), "threads={}", t);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_fused_match_allocate_then_combine((a, b, dst0) in nt_acc_inputs()) {
+        let product = kernels::matmul_nt_serial(&a, &b);
+        let mut expected = dst0.clone();
+        for (e, &x) in expected.data_mut().iter_mut().zip(product.data()) {
+            *e += x;
+        }
+        for &t in &THREADS {
+            let mut dst = dst0.clone();
+            kernels::matmul_nt_acc_with(&mut dst, &a, &b, t);
+            prop_assert_eq!(dst.data(), expected.data(), "acc threads={}", t);
+            // The assign form overwrites a dirty buffer with the product.
+            let mut dirty = dst0.clone();
+            kernels::matmul_nt_into_with(&mut dirty, &a, &b, t);
+            prop_assert_eq!(dirty.data(), product.data(), "into threads={}", t);
+        }
+    }
+
+    #[test]
+    fn mul_col_broadcast_fused_match_allocate_then_combine(
+        (dst0, src) in elementwise_inputs(),
+        col_seed in -3.0f32..3.0,
+    ) {
+        let col = Matrix::from_fn(src.rows(), 1, |r, _| ((r as f32) * 0.37 + col_seed).sin());
+        let product = src.mul_col_broadcast(&col);
+        let mut expected = dst0.clone();
+        for (e, &x) in expected.data_mut().iter_mut().zip(product.data()) {
+            *e += x;
+        }
+        let mut dirty = dst0.clone();
+        kernels::mul_col_broadcast_into(&mut dirty, &src, &col);
+        prop_assert_eq!(dirty.data(), product.data());
+        let mut acc = dst0.clone();
+        kernels::mul_col_broadcast_acc(&mut acc, &src, &col);
+        prop_assert_eq!(acc.data(), expected.data());
+    }
+
+    #[test]
+    fn row_dot_fused_match_allocate_then_combine((a, b) in elementwise_inputs()) {
+        let product = a.row_dot(&b);
+        let dst0 = Matrix::from_fn(a.rows(), 1, |r, _| (r as f32 * 0.61 - 1.3).cos());
+        let mut expected = dst0.clone();
+        for (e, &x) in expected.data_mut().iter_mut().zip(product.data()) {
+            *e += x;
+        }
+        let mut dirty = dst0.clone();
+        kernels::row_dot_into(&mut dirty, &a, &b);
+        prop_assert_eq!(dirty.data(), product.data());
+        let mut acc = dst0.clone();
+        kernels::row_dot_acc(&mut acc, &a, &b);
+        prop_assert_eq!(acc.data(), expected.data());
+    }
+
+    #[test]
+    fn softmax_backward_fused_match_allocate_then_combine((g, y) in elementwise_inputs()) {
+        // Allocate-then-combine reference: gy = g ⊙ y materialized,
+        // row totals via row_sums, product assembled per element.
+        let gy = g.hadamard(&y);
+        let totals = gy.row_sums();
+        let mut product = Matrix::zeros(y.rows(), y.cols());
+        for r in 0..y.rows() {
+            let t = totals.get(r, 0);
+            for c in 0..y.cols() {
+                product.set(r, c, y.get(r, c) * (g.get(r, c) - t));
+            }
+        }
+        let dst0 = g.scale(0.5);
+        let mut expected = dst0.clone();
+        for (e, &x) in expected.data_mut().iter_mut().zip(product.data()) {
+            *e += x;
+        }
+        let mut dirty = dst0.clone();
+        kernels::softmax_rows_backward_into(&mut dirty, &g, &y);
+        prop_assert_eq!(dirty.data(), product.data());
+        let mut acc = dst0.clone();
+        kernels::softmax_rows_backward_acc(&mut acc, &g, &y);
+        prop_assert_eq!(acc.data(), expected.data());
+    }
+
+    #[test]
+    fn matmul_tn_acc_zeroed_is_bitwise_product((a, b) in tn_inputs()) {
+        // Streaming accumulator: on the tape's zeroed checkouts it must
+        // reproduce the allocating kernel exactly.
+        let product = kernels::matmul_tn_serial(&a, &b);
+        for &t in &THREADS {
+            let mut dst = Matrix::zeros(a.cols(), b.cols());
+            kernels::matmul_tn_acc_with(&mut dst, &a, &b, t);
+            prop_assert_eq!(dst.data(), product.data(), "threads={}", t);
+        }
+    }
+
+    #[test]
+    fn spmm_acc_zeroed_is_bitwise_product((csr, x, xt) in sparse_inputs()) {
+        let product = kernels::spmm_serial(&csr, &x);
+        let product_t = kernels::spmm_t_serial(&csr, &xt);
+        for &t in &THREADS {
+            let mut dst = Matrix::zeros(csr.rows(), x.cols());
+            kernels::spmm_acc_with(&mut dst, &csr, &x, t);
+            prop_assert_eq!(dst.data(), product.data(), "spmm_acc threads={}", t);
+            let mut dst_t = Matrix::zeros(csr.cols(), xt.cols());
+            kernels::spmm_t_acc_with(&mut dst_t, &csr, &xt, t);
+            prop_assert_eq!(dst_t.data(), product_t.data(), "spmm_t_acc threads={}", t);
+        }
+    }
+
+    #[test]
+    fn skewed_spmm_acc_zeroed_is_bitwise_product((csr, x, xt) in skewed_sparse_inputs()) {
+        // Same contract through the nnz-weighted stealing plans.
+        let product = kernels::spmm_serial(&csr, &x);
+        let product_t = kernels::spmm_t_serial(&csr, &xt);
+        for &t in &THREADS {
+            let mut dst = Matrix::zeros(csr.rows(), x.cols());
+            kernels::spmm_acc_with(&mut dst, &csr, &x, t);
+            prop_assert_eq!(dst.data(), product.data(), "spmm_acc threads={}", t);
+            let mut dst_t = Matrix::zeros(csr.cols(), xt.cols());
+            kernels::spmm_t_acc_with(&mut dst_t, &csr, &xt, t);
+            prop_assert_eq!(dst_t.data(), product_t.data(), "spmm_t_acc threads={}", t);
+        }
+    }
+}
+
+/// The fused kernels through the *real* pool machinery (explicit
+/// `set_threads` override lifts the single-core oversubscription guard,
+/// as in the hub tests above): bytes must not depend on which worker
+/// ran which chunk.
+#[test]
+fn fused_kernels_bitwise_across_pool_threads() {
+    let _guard = ThreadOverride::lift_caps();
+    let a = Matrix::from_fn(37, 23, |r, c| ((r * 31 + c * 7) as f32 * 0.13).sin());
+    let b = Matrix::from_fn(37, 23, |r, c| ((r * 17 + c * 3) as f32 * 0.29).cos());
+    let mut expected_axpy = a.clone();
+    expected_axpy.add_scaled_assign(&b, 0.75);
+    let expected_tn = kernels::matmul_tn_serial(&a, &b);
+    for t in [2, 3, 4] {
+        let mut dst = a.clone();
+        kernels::axpy_with(&mut dst, &b, 0.75, t);
+        assert_eq!(dst.data(), expected_axpy.data(), "axpy threads={t}");
+        let mut tn = Matrix::zeros(a.cols(), b.cols());
+        kernels::matmul_tn_acc_with(&mut tn, &a, &b, t);
+        assert_eq!(tn.data(), expected_tn.data(), "matmul_tn_acc threads={t}");
+    }
+}
+
 // ----- degenerate cases, pinned exactly -------------------------------
 
 #[test]

@@ -98,3 +98,67 @@ fn datasets_and_baselines_are_reproducible() {
     let m2 = BiasMf::fit(&b.graph, &cfg);
     assert_eq!(m1.score(3, &[1, 5, 9]), m2.score(3, &[1, 5, 9]));
 }
+
+#[test]
+fn arena_reuse_is_bitwise_equal_to_fresh_arenas() {
+    // The allocation-discipline half of the determinism contract: the
+    // gradient-buffer arena recycles storage between steps (and between
+    // whole fits — `Gnmr` holds one arena for its lifetime), so a dirty
+    // buffer checked out on step N must never leak bytes into step N+1.
+    // Run the same multi-epoch training loop twice over the GNMR
+    // forward pass: once with a single shared arena (dirty from step 2
+    // onward, the steady-state path), once checking every step's
+    // buffers out of a brand-new arena (every buffer freshly
+    // allocated). Parameters must be bitwise identical.
+    use gnmr::autograd::{Adam, Arena, Ctx, Grads};
+    use std::sync::Arc;
+
+    let data = gnmr::data::presets::tiny_movielens(13);
+    let users: Arc<Vec<u32>> = Arc::new(vec![0, 1, 2, 3, 2, 1]);
+    let pos: Arc<Vec<u32>> = Arc::new(vec![5, 9, 2, 7, 1, 4]);
+    let neg: Arc<Vec<u32>> = Arc::new(vec![8, 3, 6, 0, 9, 2]);
+
+    let run = |shared_arena: bool| -> Vec<(String, Vec<u32>)> {
+        let mut model = Gnmr::new(
+            &data.graph,
+            GnmrConfig { pretrain: false, seed: 21, ..GnmrConfig::default() },
+        );
+        let arena = Arena::new();
+        let mut grads = Grads::default();
+        let mut opt = Adam::new(0.02);
+        for _step in 0..6 {
+            let fresh = Arena::new();
+            let arena = if shared_arena { &arena } else { &fresh };
+            let mut ctx = Ctx::new(model.params());
+            let (user_orders, item_orders) = model.forward(&mut ctx);
+            let user_all = ctx.g.concat_cols(&user_orders);
+            let item_all = ctx.g.concat_cols(&item_orders);
+            let u = ctx.g.gather_rows(user_all, Arc::clone(&users));
+            let p = ctx.g.gather_rows(item_all, Arc::clone(&pos));
+            let n = ctx.g.gather_rows(item_all, Arc::clone(&neg));
+            let pos_scores = ctx.g.row_dot(u, p);
+            let neg_scores = ctx.g.row_dot(u, n);
+            let diff = ctx.g.sub(neg_scores, pos_scores);
+            let margin = ctx.g.add_scalar(diff, 1.0);
+            let hinge = ctx.g.relu(margin);
+            let loss = ctx.g.mean(hinge);
+            ctx.grads_into(loss, arena, &mut grads);
+            drop(ctx);
+            opt.step(model.params_mut(), &grads);
+            grads.recycle(arena);
+        }
+        model
+            .params()
+            .iter()
+            .map(|(name, m)| (name.to_string(), m.data().iter().map(|v| v.to_bits()).collect()))
+            .collect()
+    };
+
+    let shared = run(true);
+    let fresh = run(false);
+    assert!(!shared.is_empty());
+    for ((name_a, bits_a), (name_b, bits_b)) in shared.iter().zip(&fresh) {
+        assert_eq!(name_a, name_b);
+        assert_eq!(bits_a, bits_b, "param {name_a}: dirty-arena reuse changed training bytes");
+    }
+}
