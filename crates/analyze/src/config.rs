@@ -1,0 +1,152 @@
+//! Analyzer configuration: which files may hold `unsafe`, which crates
+//! are "numeric" (map-iteration-banned), the hot-path allocation
+//! manifest, and the kernel-coverage file pair.
+//!
+//! [`Config::workspace`] encodes this repository's standing contracts
+//! (ROADMAP "Standing constraints"); tests build custom configs to point
+//! the engine at fixture trees.
+
+use std::fmt;
+use std::path::Path;
+
+/// Every rule identifier the analyzer can emit. Pragmas are validated
+/// against this list so a typoed `allow(...)` cannot silently suppress
+/// nothing.
+pub const RULE_IDS: &[&str] = &[
+    "unsafe-confinement",
+    "unsafe-safety-comment",
+    "det-rng",
+    "det-map-iter",
+    "hot-alloc",
+    "kernel-coverage",
+    "pragma-syntax",
+];
+
+/// One hot-path manifest entry: functions matching `pattern` inside
+/// `file` must not allocate.
+#[derive(Clone, Debug)]
+pub struct ManifestEntry {
+    /// Workspace-relative file path (forward slashes).
+    pub file: String,
+    /// Function-name pattern: exact, or `*_suffix` (leading-star glob).
+    pub pattern: String,
+}
+
+impl ManifestEntry {
+    /// Whether `name` matches this entry's pattern.
+    pub fn matches(&self, name: &str) -> bool {
+        match self.pattern.strip_prefix('*') {
+            Some(suffix) => name.ends_with(suffix),
+            None => name == self.pattern,
+        }
+    }
+}
+
+impl fmt::Display for ManifestEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.file, self.pattern)
+    }
+}
+
+/// Parses the checked-in manifest format: one `path pattern` pair per
+/// line, `#` comments and blank lines ignored.
+pub fn parse_manifest(text: &str) -> Result<Vec<ManifestEntry>, String> {
+    let mut entries = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (file, pattern) = (parts.next(), parts.next());
+        match (file, pattern, parts.next()) {
+            (Some(f), Some(p), None) => {
+                entries.push(ManifestEntry { file: f.to_string(), pattern: p.to_string() })
+            }
+            _ => return Err(format!("manifest line {}: expected `path pattern`, got {raw:?}", i + 1)),
+        }
+    }
+    Ok(entries)
+}
+
+/// The analyzer's rule configuration.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// Files (workspace-relative) allowed to contain `unsafe`.
+    pub allowed_unsafe: Vec<String>,
+    /// Path prefixes of the numeric crates, where map iteration is
+    /// banned (map order leaks break "same seed, same bytes").
+    pub numeric_prefixes: Vec<String>,
+    /// Hot-path allocation manifest.
+    pub hot_manifest: Vec<ManifestEntry>,
+    /// The kernel entry-point file for the coverage rule, if any.
+    pub kernels_file: Option<String>,
+    /// The equivalence-suite file every kernel must be referenced from.
+    pub equivalence_file: Option<String>,
+}
+
+impl Config {
+    /// The configuration for this workspace's standing contracts. The
+    /// hot-path manifest is loaded separately (it is a checked-in file;
+    /// see [`Config::load_manifest`]).
+    pub fn workspace() -> Self {
+        Config {
+            allowed_unsafe: vec![
+                "crates/tensor/src/par.rs".to_string(),
+                "crates/bench/src/alloc.rs".to_string(),
+            ],
+            numeric_prefixes: vec![
+                "crates/tensor/".to_string(),
+                "crates/autograd/".to_string(),
+                "crates/graph/".to_string(),
+                "crates/core/".to_string(),
+                "crates/baselines/".to_string(),
+                "crates/eval/".to_string(),
+            ],
+            hot_manifest: Vec::new(),
+            kernels_file: Some("crates/tensor/src/kernels.rs".to_string()),
+            equivalence_file: Some("crates/tensor/tests/par_equivalence.rs".to_string()),
+        }
+    }
+
+    /// Workspace-relative location of the checked-in hot-path manifest.
+    pub const MANIFEST_PATH: &'static str = "crates/analyze/hotpath.manifest";
+
+    /// Loads the hot-path manifest from its checked-in location under
+    /// `root` into `self`. Errors if the file is missing or malformed —
+    /// a silently absent manifest would make the hot-alloc rule pass
+    /// vacuously.
+    pub fn load_manifest(&mut self, root: &Path) -> Result<(), String> {
+        let path = root.join(Self::MANIFEST_PATH);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        self.hot_manifest = parse_manifest(&text)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_patterns_match() {
+        let exact = ManifestEntry { file: "a.rs".into(), pattern: "sgd_step".into() };
+        assert!(exact.matches("sgd_step"));
+        assert!(!exact.matches("sgd_step_with"));
+        let glob = ManifestEntry { file: "a.rs".into(), pattern: "*_acc".into() };
+        assert!(glob.matches("matmul_acc"));
+        assert!(glob.matches("spmm_t_acc"));
+        assert!(!glob.matches("matmul_acc_with"));
+    }
+
+    #[test]
+    fn manifest_parses_and_rejects_garbage() {
+        let good = "# comment\n\ncrates/a.rs *_acc\ncrates/b.rs backward_with\n";
+        let entries = parse_manifest(good).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].file, "crates/a.rs");
+        assert!(parse_manifest("just-one-field\n").is_err());
+        assert!(parse_manifest("a b c\n").is_err());
+    }
+}

@@ -1,0 +1,435 @@
+//! A small handwritten Rust lexer, just deep enough for invariant linting.
+//!
+//! The rule families in this crate reason about *identifier tokens* and
+//! *comments*: `unsafe` keywords, banned API names, `// SAFETY:` and
+//! `// gnmr-analyze:` pragma comments, function names and brace
+//! structure. Everything that could hide a false positive — string
+//! contents, char literals, nested block comments — must therefore be
+//! lexed correctly and kept out of the identifier stream. The lexer
+//! handles:
+//!
+//! * line comments (`//`, `///`, `//!`) — emitted as [`TokKind::LineComment`]
+//!   tokens so pragma and `SAFETY:` scanning can see them;
+//! * block comments (`/* .. */`) **with nesting**, emitted as
+//!   [`TokKind::BlockComment`] with both start and end line recorded;
+//! * string literals with escapes (`"a\"b"`), byte strings (`b".."`),
+//!   and raw strings with any hash depth (`r".."`, `r#".."#`,
+//!   `br##".."##`) — all collapsed to a single [`TokKind::Str`] token;
+//! * char literals vs. lifetimes (`'a'` is a literal, `'a` in
+//!   `&'a str` is not);
+//! * identifiers/keywords, loosely-lexed numbers, and one-character
+//!   punctuation.
+//!
+//! It does **not** build an AST; the rules pattern-match short token
+//! sequences, which is exactly as much syntax as the invariants need.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `fn`, ...).
+    Ident,
+    /// One character of punctuation (`.`, `!`, `{`, ...).
+    Punct,
+    /// `// ...` comment; `text` holds everything after the `//`.
+    LineComment,
+    /// `/* ... */` comment (nesting folded in); `text` holds the body.
+    BlockComment,
+    /// Any string/char/byte/raw-string literal; `text` is empty.
+    Str,
+    /// A numeric literal; `text` is empty.
+    Num,
+}
+
+/// One token with its 1-based source position.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// Identifier or comment text (empty for literals).
+    pub text: String,
+    /// Punctuation character (`'\0'` for other kinds).
+    pub ch: char,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// 1-based line the token ends on (differs for block comments and
+    /// multi-line strings).
+    pub end_line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.ch == c
+    }
+
+    /// Whether this token is a (line or block) comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into a token stream. Unterminated constructs (possible
+/// only on malformed input) terminate at end of file rather than
+/// panicking: a linter must degrade gracefully on code `rustc` would
+/// reject anyway.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Vec::new() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => self.pos += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(),
+                '\'' => self.char_or_lifetime(),
+                c if c.is_ascii_digit() => self.number(),
+                c if is_ident_start(c) => self.ident(),
+                c => {
+                    self.push(TokKind::Punct, String::new(), c, self.line);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, ch: char, start_line: u32) {
+        self.out.push(Tok { kind, text, ch, line: start_line, end_line: self.line });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.line;
+        self.pos += 2;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.pos += 1;
+        }
+        self.push(TokKind::LineComment, text, '\0', start);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.line;
+        self.pos += 2;
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.pos += 2;
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                text.push(c);
+                self.pos += 1;
+            }
+        }
+        self.push(TokKind::BlockComment, text, '\0', start);
+    }
+
+    /// A `"..."` string with backslash escapes.
+    fn string(&mut self) {
+        let start = self.line;
+        self.pos += 1;
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => self.pos += 2,
+                '"' => {
+                    self.pos += 1;
+                    break;
+                }
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokKind::Str, String::new(), '\0', start);
+    }
+
+    /// A `r##"..."##`-style raw string whose `r` prefix has already been
+    /// consumed; `self.pos` sits on the first `#` or the opening quote.
+    fn raw_string(&mut self, start: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        debug_assert_eq!(self.peek(0), Some('"'));
+        self.pos += 1; // opening quote
+        'scan: while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                self.line += 1;
+            } else if c == '"' {
+                for h in 0..hashes {
+                    if self.peek(1 + h) != Some('#') {
+                        self.pos += 1;
+                        continue 'scan;
+                    }
+                }
+                self.pos += 1 + hashes;
+                break;
+            }
+            self.pos += 1;
+        }
+        self.push(TokKind::Str, String::new(), '\0', start);
+    }
+
+    /// Distinguishes `'a'` (char literal) from `'a` (lifetime): after
+    /// the quote, an identifier character *not* followed by a closing
+    /// quote is a lifetime. Escapes (`'\n'`, `'\''`) are literals.
+    fn char_or_lifetime(&mut self) {
+        let start = self.line;
+        match self.peek(1) {
+            Some('\\') => {
+                // Escaped char literal: quote, backslash, escape body, quote.
+                self.pos += 3; // consume `'\x`
+                while let Some(c) = self.peek(0) {
+                    self.pos += 1;
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Str, String::new(), '\0', start);
+            }
+            Some(c) if is_ident_continue(c) && self.peek(2) != Some('\'') => {
+                // Lifetime: consume the quote and the identifier, emit
+                // nothing — rules never care about lifetimes.
+                self.pos += 1;
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.pos += 1;
+                }
+            }
+            Some(_) => {
+                // Plain char literal `'x'` (possibly a newline char).
+                if self.peek(1) == Some('\n') {
+                    self.line += 1;
+                }
+                self.pos += 3;
+                self.push(TokKind::Str, String::new(), '\0', start);
+            }
+            None => self.pos += 1,
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.line;
+        while self.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+            self.pos += 1;
+        }
+        // A fraction part only if the dot is followed by a digit, so
+        // `0..n` lexes as Num, Punct('.'), Punct('.'), Ident.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+            while self.peek(0).is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+                self.pos += 1;
+            }
+        }
+        self.push(TokKind::Num, String::new(), '\0', start);
+    }
+
+    fn ident(&mut self) {
+        let start = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            self.pos += 1;
+        }
+        // `r"..."`, `b"..."`, `br#"..."#`, `rb` is not valid Rust but
+        // accepted here for robustness: a string-literal prefix turns
+        // the "identifier" into a literal.
+        let is_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb");
+        if is_prefix && self.peek(0) == Some('"') {
+            if text.starts_with('b') && !text.contains('r') {
+                self.string();
+                return;
+            }
+            self.raw_string(start);
+            return;
+        }
+        if is_prefix && text.contains('r') && self.peek(0) == Some('#') {
+            // Distinguish `r#"raw"#` / `r#ident` (raw identifier).
+            let mut ahead = 0;
+            while self.peek(ahead) == Some('#') {
+                ahead += 1;
+            }
+            if self.peek(ahead) == Some('"') {
+                self.raw_string(start);
+                return;
+            }
+            // Raw identifier `r#type`: consume `#` and the word.
+            self.pos += 1;
+            let mut raw = String::new();
+            while let Some(c) = self.peek(0) {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                raw.push(c);
+                self.pos += 1;
+            }
+            self.push(TokKind::Ident, raw, '\0', start);
+            return;
+        }
+        self.push(TokKind::Ident, text, '\0', start);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"let x = "unsafe thread_rng"; call(x);"#;
+        assert_eq!(idents(src), vec!["let", "x", "call", "x"]);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let src = r#"let s = "a\"unsafe\""; next();"#;
+        assert_eq!(idents(src), vec!["let", "s", "next"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r##"let s = r#"contains "unsafe" quoted"#; after();"##;
+        assert_eq!(idents(src), vec!["let", "s", "after"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner unsafe */ still comment */ b";
+        let toks = lex(src);
+        assert_eq!(idents(src), vec!["a", "b"]);
+        let comment = toks.iter().find(|t| t.kind == TokKind::BlockComment).unwrap();
+        assert!(comment.text.contains("inner unsafe"));
+    }
+
+    #[test]
+    fn block_comment_line_spans() {
+        let src = "/* one\ntwo\nthree */ fn x() {}";
+        let toks = lex(src);
+        let comment = &toks[0];
+        assert_eq!((comment.line, comment.end_line), (1, 3));
+        let f = toks.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!(f.line, 3);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // A naive lexer treats `'a` as an unterminated char literal and
+        // swallows the rest of the file.
+        let src = "fn f<'a>(x: &'a str) -> &'a str { unsafe { x } }";
+        let ids = idents(src);
+        assert!(ids.contains(&"unsafe".to_string()));
+        assert!(ids.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn char_literals_including_escapes() {
+        let src = r"let a = 'x'; let b = '\''; let c = '\\'; let d = '\n'; end();";
+        assert_eq!(idents(src), vec!["let", "a", "let", "b", "let", "c", "let", "d", "end"]);
+    }
+
+    #[test]
+    fn quote_char_literal_is_not_a_lifetime() {
+        // `'a'` has an ident char after the quote but closes immediately.
+        let src = "m.insert('a', 1); m.insert('b', 2);";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["m", "insert", "m", "insert"]);
+    }
+
+    #[test]
+    fn byte_strings_and_raw_byte_strings() {
+        let src = r###"let a = b"unsafe"; let b2 = br#"thread_rng"#; tail();"###;
+        assert_eq!(idents(src), vec!["let", "a", "let", "b2", "tail"]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let src = "let r#type = 1; use_it(r#type);";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "type", "use_it", "type"]);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let src = "for i in 0..10 { x(1.5, 0xff_u32, 1e-3); }";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["for", "i", "in", "x"]);
+        let dots = lex(src).iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "both range dots survive");
+    }
+
+    #[test]
+    fn line_comments_capture_text_and_lines() {
+        let src = "// SAFETY: fine\nunsafe { x() }";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert!(toks[0].text.contains("SAFETY:"));
+        assert_eq!(toks[0].line, 1);
+        let u = toks.iter().find(|t| t.is_ident("unsafe")).unwrap();
+        assert_eq!(u.line, 2);
+    }
+
+    #[test]
+    fn doc_comments_are_line_comments() {
+        let src = "/// docs mention unsafe\n//! inner docs\nfn f() {}";
+        assert_eq!(idents(src), vec!["fn", "f"]);
+    }
+}

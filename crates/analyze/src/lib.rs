@@ -1,0 +1,35 @@
+//! `gnmr-analyze` — a workspace invariant linter.
+//!
+//! The repository rests on contracts that, before this crate, held only
+//! by convention and reviewer memory:
+//!
+//! 1. **Unsafe confinement.** `unsafe` lives in exactly two audited
+//!    files, each site argued by a `// SAFETY:` comment.
+//! 2. **Determinism.** "Same seed, same bytes" at every thread count:
+//!    no ambient entropy anywhere, no HashMap/HashSet iteration in the
+//!    numeric crates.
+//! 3. **Zero-allocation hot path.** Functions in the checked-in
+//!    manifest (tape backward, fused optimizers, in-place kernels)
+//!    contain no allocating constructs — the static complement to the
+//!    runtime counting-allocator gate.
+//! 4. **Kernel equivalence coverage.** Every public kernel entry point
+//!    is referenced from the bitwise-equivalence suite.
+//!
+//! The binary walks every workspace `.rs` file with a small handwritten
+//! lexer (comments, nested block comments, string/char/raw-string
+//! literals handled correctly), prints findings as
+//! `file:line:rule-id: message`, honors
+//! `// gnmr-analyze: allow(rule-id) -- reason` pragmas (justification
+//! mandatory), and with `--ci` exits nonzero on any unsuppressed
+//! finding. It has no dependencies — not even on the rest of the
+//! workspace — so it builds first and fast in CI.
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use config::{parse_manifest, Config, ManifestEntry, RULE_IDS};
+pub use engine::{analyze_tree, find_workspace_root};
+pub use report::{Finding, Report};

@@ -1,0 +1,89 @@
+//! CLI entry point. See the crate docs ([`gnmr_analyze`]) for what the
+//! rules enforce.
+//!
+//! ```text
+//! gnmr-analyze [--ci] [--root <dir>] [--list-rules]
+//! ```
+//!
+//! * default: print findings and a summary, exit 0 (informational);
+//! * `--ci`: exit 1 on any unsuppressed finding (the CI gate);
+//! * `--root`: lint a different tree (defaults to the enclosing cargo
+//!   workspace);
+//! * `--list-rules`: print the rule identifiers pragmas may reference.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gnmr_analyze::{analyze_tree, find_workspace_root, Config, RULE_IDS};
+
+fn main() -> ExitCode {
+    let mut ci = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ci" => ci = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root requires a directory"),
+            },
+            "--list-rules" => {
+                for rule in RULE_IDS {
+                    println!("{rule}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("gnmr-analyze: cannot determine current dir: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "gnmr-analyze: no enclosing cargo workspace found; pass --root <dir>"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let mut cfg = Config::workspace();
+    if let Err(e) = cfg.load_manifest(&root) {
+        eprintln!("gnmr-analyze: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    match analyze_tree(&root, &cfg) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if ci && !report.is_clean() {
+                eprintln!("gnmr-analyze: failing --ci run (unsuppressed findings above)");
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("gnmr-analyze: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("gnmr-analyze: {err}");
+    eprintln!("usage: gnmr-analyze [--ci] [--root <dir>] [--list-rules]");
+    ExitCode::FAILURE
+}

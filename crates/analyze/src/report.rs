@@ -1,0 +1,203 @@
+//! Findings, pragma suppression, and output formatting.
+//!
+//! A finding prints as `file:line:rule-id: message` (clickable in most
+//! editors and CI log viewers). An inline pragma comment
+//!
+//! ```text
+//! // gnmr-analyze: allow(rule-id) -- justification
+//! ```
+//!
+//! suppresses findings of that rule on the pragma's own line or the
+//! line directly below it; the `-- justification` tail is mandatory, so
+//! every suppression in the tree carries its reason next to the code it
+//! excuses.
+
+use std::fmt;
+
+use crate::config::RULE_IDS;
+use crate::lexer::{Tok, TokKind};
+
+/// One rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule identifier (one of [`RULE_IDS`]).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// A parsed `allow` pragma.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    /// The rule being allowed.
+    pub rule: String,
+    /// Line of the pragma comment.
+    pub line: u32,
+}
+
+impl Suppression {
+    /// Whether this pragma covers a finding of `rule` at `line`: the
+    /// pragma's own line (trailing form) or the next line (preceding
+    /// form).
+    pub fn covers(&self, rule: &str, line: u32) -> bool {
+        self.rule == rule && (line == self.line || line == self.line + 1)
+    }
+}
+
+/// Scans a token stream for `gnmr-analyze:` pragma comments. Returns
+/// the valid suppressions plus findings for malformed pragmas (missing
+/// justification, unknown rule id, unparsable syntax) — a pragma that
+/// does not say *why* is itself a violation.
+pub fn extract_pragmas(file: &str, tokens: &[Tok]) -> (Vec<Suppression>, Vec<Finding>) {
+    let mut suppressions = Vec::new();
+    let mut findings = Vec::new();
+    for tok in tokens {
+        if tok.kind != TokKind::LineComment {
+            continue;
+        }
+        let Some(rest) = tok.text.trim_start().strip_prefix("gnmr-analyze:") else { continue };
+        match parse_pragma(rest) {
+            Ok(rule) => suppressions.push(Suppression { rule, line: tok.line }),
+            Err(msg) => findings.push(Finding {
+                file: file.to_string(),
+                line: tok.line,
+                rule: "pragma-syntax",
+                message: msg,
+            }),
+        }
+    }
+    (suppressions, findings)
+}
+
+/// Parses the tail after `gnmr-analyze:`; expects
+/// `allow(rule-id) -- nonempty reason`.
+fn parse_pragma(rest: &str) -> Result<String, String> {
+    let rest = rest.trim();
+    let Some(inner) = rest.strip_prefix("allow(") else {
+        return Err(format!("expected `allow(rule-id) -- reason`, got {rest:?}"));
+    };
+    let Some((rule, tail)) = inner.split_once(')') else {
+        return Err("unclosed `allow(`".to_string());
+    };
+    let rule = rule.trim();
+    if !RULE_IDS.contains(&rule) {
+        return Err(format!("unknown rule id {rule:?} (known: {})", RULE_IDS.join(", ")));
+    }
+    if rule == "pragma-syntax" {
+        return Err("pragma-syntax findings cannot be suppressed".to_string());
+    }
+    let tail = tail.trim();
+    let reason = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+    if reason.is_empty() {
+        return Err(format!("pragma for {rule:?} is missing its `-- justification`"));
+    }
+    Ok(rule.to_string())
+}
+
+/// The outcome of one analysis run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// How many findings pragmas suppressed.
+    pub suppressed: usize,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders findings (one per line) plus a trailing summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "gnmr-analyze: {} finding(s), {} suppressed, {} file(s) scanned\n",
+            self.findings.len(),
+            self.suppressed,
+            self.files_scanned
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn finding_formats_as_file_line_rule() {
+        let f = Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 12,
+            rule: "det-rng",
+            message: "no".into(),
+        };
+        assert_eq!(f.to_string(), "crates/x/src/lib.rs:12:det-rng: no");
+    }
+
+    #[test]
+    fn pragma_roundtrip() {
+        let toks = lex("// gnmr-analyze: allow(det-map-iter) -- order-insensitive sum\nlet x = 1;");
+        let (sup, bad) = extract_pragmas("f.rs", &toks);
+        assert!(bad.is_empty());
+        assert_eq!(sup.len(), 1);
+        assert!(sup[0].covers("det-map-iter", 1));
+        assert!(sup[0].covers("det-map-iter", 2));
+        assert!(!sup[0].covers("det-map-iter", 3));
+        assert!(!sup[0].covers("det-rng", 2));
+    }
+
+    #[test]
+    fn pragma_without_reason_is_a_finding() {
+        let toks = lex("// gnmr-analyze: allow(det-rng)\n");
+        let (sup, bad) = extract_pragmas("f.rs", &toks);
+        assert!(sup.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "pragma-syntax");
+        assert!(bad[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn pragma_with_unknown_rule_is_a_finding() {
+        let toks = lex("// gnmr-analyze: allow(no-such-rule) -- because\n");
+        let (sup, bad) = extract_pragmas("f.rs", &toks);
+        assert!(sup.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn pragma_cannot_suppress_pragma_syntax() {
+        let toks = lex("// gnmr-analyze: allow(pragma-syntax) -- nice try\n");
+        let (sup, bad) = extract_pragmas("f.rs", &toks);
+        assert!(sup.is_empty());
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn non_pragma_comments_ignored() {
+        let toks = lex("// a normal comment about gnmr\n/* gnmr-analyze: allow(det-rng) -- block comments are not pragmas */\n");
+        let (sup, bad) = extract_pragmas("f.rs", &toks);
+        assert!(sup.is_empty());
+        assert!(bad.is_empty());
+    }
+}

@@ -1,0 +1,299 @@
+//! Rule family 2: determinism.
+//!
+//! "Same seed, same bytes" is the repo's contract (ROADMAP standing
+//! constraint): every training run, at every thread count, reproduces
+//! bit-identical parameters. Two things silently break it:
+//!
+//! * **Ambient entropy** — `thread_rng`, `SystemTime`, `from_entropy`
+//!   pull nondeterministic state into what must be a pure function of
+//!   the seed. Banned everywhere (`det-rng`).
+//! * **Map-order leaks** — iterating a `HashMap`/`HashSet` yields an
+//!   order that varies per process (`RandomState`), so any float
+//!   accumulation, kernel dispatch, or output ordering driven by it
+//!   diverges run-to-run. Banned in the numeric crates
+//!   (`det-map-iter`); keyed lookups stay fine.
+//!
+//! Detection is a token heuristic, not a type check: the rule tracks
+//! names declared with `HashMap`/`HashSet` in their type or initializer
+//! (fields, params, lets) and flags `.iter()`-family calls on them,
+//! map-specific calls (`.keys()`, `.values()`, `.values_mut()`,
+//! `.drain()`) in any file that declares a map, and `for ... in` loops
+//! whose iterated expression mentions a tracked map name. False
+//! positives have the pragma escape hatch; false negatives are bounded
+//! by review, as before — the lint just removes the common cases from
+//! reviewer memory.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Tok, TokKind};
+use crate::report::Finding;
+
+/// Entropy sources that cannot appear anywhere in the workspace.
+const BANNED_ENTROPY: &[&str] = &["thread_rng", "SystemTime", "from_entropy"];
+
+/// Map-declaring type names.
+const MAP_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Iteration methods flagged only on receivers known to be maps.
+const GENERIC_ITER: &[&str] = &["iter", "iter_mut", "into_iter", "drain", "retain"];
+
+/// Iteration methods specific enough to maps to flag on any receiver
+/// once the file declares at least one map.
+const MAP_ONLY_ITER: &[&str] = &["keys", "values", "values_mut"];
+
+/// `det-rng`: flags ambient-entropy identifiers. Applies to every file.
+pub fn check_rng(file: &str, tokens: &[Tok]) -> Vec<Finding> {
+    tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident && BANNED_ENTROPY.contains(&t.text.as_str()))
+        .map(|t| Finding {
+            file: file.to_string(),
+            line: t.line,
+            rule: "det-rng",
+            message: format!(
+                "`{}` injects ambient entropy; derive all randomness from the run seed \
+                 (gnmr_tensor::rng)",
+                t.text
+            ),
+        })
+        .collect()
+}
+
+/// `det-map-iter`: flags HashMap/HashSet iteration. The engine applies
+/// this only to files under the configured numeric-crate prefixes.
+pub fn check_map_iter(file: &str, tokens: &[Tok]) -> Vec<Finding> {
+    let names = map_names(tokens);
+    if names.is_empty() && !tokens.iter().any(|t| t.kind == TokKind::Ident && MAP_TYPES.contains(&t.text.as_str())) {
+        return Vec::new();
+    }
+    let mut found: BTreeSet<(u32, String)> = BTreeSet::new();
+
+    let toks: Vec<&Tok> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    for i in 0..toks.len() {
+        // `.keys()` / `.values()` / `.values_mut()` are map-specific
+        // enough to flag on *any* receiver (chains through
+        // `.lock().unwrap()` included) once the file declares a map.
+        if i + 2 < toks.len()
+            && toks[i].is_punct('.')
+            && toks[i + 1].kind == TokKind::Ident
+            && MAP_ONLY_ITER.contains(&toks[i + 1].text.as_str())
+            && toks[i + 2].is_punct('(')
+        {
+            found.insert((toks[i + 1].line, format!(".{}()", toks[i + 1].text)));
+        }
+        // `name.iter()` / `self.name.drain()` — generic iteration
+        // methods flag only when the ident directly before the dot is a
+        // tracked map name.
+        if i + 3 < toks.len()
+            && toks[i].kind == TokKind::Ident
+            && toks[i + 1].is_punct('.')
+            && toks[i + 2].kind == TokKind::Ident
+            && toks[i + 3].is_punct('(')
+            && names.contains(toks[i].text.as_str())
+            && GENERIC_ITER.contains(&toks[i + 2].text.as_str())
+        {
+            found.insert((toks[i + 2].line, format!(".{}()", toks[i + 2].text)));
+        }
+        // `for pat in <expr> {` — flag if the iterated expression
+        // mentions a tracked map name.
+        if toks[i].is_ident("for") {
+            if let Some(in_idx) = find_loop_in(&toks, i) {
+                let mut j = in_idx + 1;
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    let t = toks[j];
+                    match t.kind {
+                        TokKind::Punct => match t.ch {
+                            '(' | '[' => depth += 1,
+                            ')' | ']' => depth -= 1,
+                            '{' if depth == 0 => break,
+                            _ => {}
+                        },
+                        TokKind::Ident if names.contains(t.text.as_str()) => {
+                            found.insert((t.line, format!("for ... in {}", t.text)));
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    found
+        .into_iter()
+        .map(|(line, what)| Finding {
+            file: file.to_string(),
+            line,
+            rule: "det-map-iter",
+            message: format!(
+                "{what} iterates a HashMap/HashSet in a numeric crate; map order is \
+                 per-process random and leaks into results — use BTreeMap/BTreeSet, a \
+                 sorted Vec, or restructure"
+            ),
+        })
+        .collect()
+}
+
+/// Names declared with a `HashMap`/`HashSet` type annotation or
+/// constructor anywhere in the file (fields, params, lets, statics).
+fn map_names(tokens: &[Tok]) -> BTreeSet<String> {
+    let toks: Vec<&Tok> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        // `name: <type tokens containing HashMap>` up to a depth-0
+        // terminator. Also matches struct fields and fn params.
+        if i + 1 < toks.len() && toks[i + 1].is_punct(':') {
+            // Skip `::` paths — `name::thing` is not a declaration.
+            if i + 2 < toks.len() && toks[i + 2].is_punct(':') {
+                continue;
+            }
+            let mut depth = 0i32;
+            for t in toks.iter().skip(i + 2) {
+                match t.kind {
+                    TokKind::Punct => match t.ch {
+                        '<' | '(' | '[' => depth += 1,
+                        '>' | ')' | ']' if depth > 0 => depth -= 1,
+                        ',' | ';' | '=' | '{' if depth == 0 => break,
+                        ')' | '>' => break, // closing an outer scope
+                        _ => {}
+                    },
+                    TokKind::Ident if MAP_TYPES.contains(&t.text.as_str()) => {
+                        names.insert(toks[i].text.clone());
+                        break;
+                    }
+                    TokKind::Ident
+                        if matches!(
+                            t.text.as_str(),
+                            // Type constructors a map can sit inside and
+                            // still be the thing iterated after unwrapping.
+                            "Mutex" | "RwLock" | "Option" | "Box" | "Arc" | "Rc" | "RefCell"
+                                | "Cell" | "Vec"
+                        ) => {}
+                    TokKind::Ident => {} // other type names: keep scanning generics
+                    _ => {}
+                }
+            }
+        }
+        // `name = HashMap::new()` / `= HashSet::from_iter(...)`.
+        if i + 2 < toks.len()
+            && toks[i + 1].is_punct('=')
+            && toks[i + 2].kind == TokKind::Ident
+            && MAP_TYPES.contains(&toks[i + 2].text.as_str())
+        {
+            names.insert(toks[i].text.clone());
+        }
+    }
+    names
+}
+
+/// Finds the `in` of a `for ... in` loop, skipping the pattern tokens.
+fn find_loop_in(toks: &[&Tok], for_idx: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(for_idx + 1) {
+        if t.kind == TokKind::Punct {
+            match t.ch {
+                '(' | '[' => depth += 1,
+                ')' | ']' => depth -= 1,
+                '{' | ';' => return None, // `for` in a generic bound etc.
+                _ => {}
+            }
+        }
+        if depth == 0 && t.is_ident("in") {
+            return Some(j);
+        }
+        if j > for_idx + 32 {
+            return None; // patterns are short; bail on weird code
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn ambient_entropy_is_flagged_everywhere() {
+        let toks = lex("let mut r = rand::thread_rng();\nlet t = SystemTime::now();");
+        let f = check_rng("x.rs", &toks);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].rule, "det-rng");
+        assert_eq!(f[0].line, 1);
+        assert_eq!(f[1].line, 2);
+    }
+
+    #[test]
+    fn entropy_in_strings_not_flagged() {
+        let toks = lex("let s = \"thread_rng\"; // mentions from_entropy");
+        assert!(check_rng("x.rs", &toks).is_empty());
+    }
+
+    #[test]
+    fn direct_map_iteration_is_flagged() {
+        let src = "use std::collections::HashMap;\nfn f(m: HashMap<u32, f32>) -> f32 {\n    m.iter().map(|(_, v)| v).sum()\n}";
+        let f = check_map_iter("x.rs", &lex(src));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "det-map-iter");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn field_iteration_through_self_is_flagged() {
+        let src = "struct S { entries: HashMap<String, f32> }\nimpl S {\n    fn sum(&self) -> f32 { self.entries.values().sum() }\n}";
+        let f = check_map_iter("x.rs", &lex(src));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn for_loop_over_map_reference_is_flagged() {
+        let src = "fn f(bound: HashMap<String, u32>) {\n    for (k, v) in &bound { use_it(k, v); }\n}";
+        let f = check_map_iter("x.rs", &lex(src));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn chained_values_after_lock_is_flagged() {
+        // Receiver resolution fails through `.lock().unwrap()`, but
+        // `.values()` is map-specific and the file declares a map.
+        let src = "struct A { shelves: Mutex<HashMap<(usize, usize), Vec<f32>>> }\nimpl A {\n    fn n(&self) -> usize { self.shelves.lock().unwrap().values().map(Vec::len).sum() }\n}";
+        let f = check_map_iter("x.rs", &lex(src));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn keyed_lookups_are_fine() {
+        let src = "fn f(m: &HashMap<String, u32>, k: &str) -> Option<u32> {\n    m.get(k).copied()\n}";
+        assert!(check_map_iter("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn vec_iteration_in_map_file_is_fine() {
+        let src = "fn f(m: &HashMap<String, u32>, v: &[u32]) -> u32 {\n    let items: Vec<u32> = v.to_vec();\n    items.iter().sum()\n}";
+        assert!(check_map_iter("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn btreemap_iteration_is_fine() {
+        let src = "use std::collections::BTreeMap;\nfn f(m: &BTreeMap<String, u32>) -> u32 { m.values().sum() }";
+        // No HashMap/HashSet declared anywhere: nothing to flag, even
+        // though `.values()` appears.
+        assert!(check_map_iter("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn map_inside_mutex_annotation_is_tracked() {
+        let src = "struct A { shelves: Mutex<HashMap<u32, u32>> }\nfn f(a: &A) { for x in a.shelves.lock().unwrap().iter() { use_it(x); } }";
+        // `shelves` is tracked through the Mutex wrapper; `.iter()` on a
+        // resolved-through-lock receiver is caught by the for-expr scan.
+        let f = check_map_iter("x.rs", &lex(src));
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Rule family 4: kernel equivalence coverage.
+//!
+//! `crates/tensor/src/kernels.rs` is the designated landing zone for
+//! SIMD and alternate-backend work, and the bitwise-equivalence suite
+//! (`crates/tensor/tests/par_equivalence.rs`) is what keeps every
+//! parallel/fused path byte-identical to its serial reference. This
+//! rule closes the gap between them: **every `pub fn` in the kernels
+//! file must be referenced from the equivalence suite**, so a new
+//! kernel cannot land without at least appearing in the file whose job
+//! is to pin its bytes. (Appearing is a floor, not a proof — but it
+//! turns "forgot to test the new kernel entirely" from a review miss
+//! into a CI failure.)
+//!
+//! Findings anchor at the `pub fn` line in the kernels file, so a
+//! deliberately-uncovered helper can carry its own
+//! `// gnmr-analyze: allow(kernel-coverage) -- reason` pragma.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Tok, TokKind};
+use crate::report::Finding;
+
+/// Collects `(name, line)` of every externally-visible `pub fn` in a
+/// token stream (including `pub unsafe`/`pub const` forms).
+/// Restricted visibility — `pub(crate)`, `pub(super)`, `pub(in …)` —
+/// is excluded: an integration test under `tests/` cannot name those,
+/// so demanding coverage for them would be unsatisfiable.
+pub fn pub_fns(tokens: &[Tok]) -> Vec<(String, u32)> {
+    let toks: Vec<&Tok> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else { continue };
+        if name_tok.kind != TokKind::Ident {
+            continue;
+        }
+        if is_pub(&toks, i) {
+            out.push((name_tok.text.clone(), name_tok.line));
+        }
+    }
+    out
+}
+
+/// Whether the `fn` at index `i` is unrestricted `pub`: walk back over
+/// qualifier keywords (`unsafe`, `const`, `async`, `extern "C"`) to
+/// find a `pub` token NOT followed by a `(...)` restriction —
+/// `pub(crate)` and friends are deliberately not pub for this rule's
+/// purposes (see [`pub_fns`]).
+fn is_pub(toks: &[&Tok], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = toks[j];
+        match t.kind {
+            TokKind::Ident if matches!(t.text.as_str(), "unsafe" | "const" | "async" | "extern") => {}
+            TokKind::Str => {} // the "C" of `extern "C"`
+            TokKind::Ident => return t.text == "pub",
+            TokKind::Punct if t.ch == ')' => {
+                // `pub(crate)` / `pub(in path)`: restricted, not
+                // reachable from an integration test.
+                return false;
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Checks that every public kernel entry point is referenced (by name,
+/// anywhere) in the equivalence suite.
+pub fn check(
+    kernels_file: &str,
+    kernels_tokens: &[Tok],
+    equivalence_file: &str,
+    equivalence_tokens: &[Tok],
+) -> Vec<Finding> {
+    let referenced: BTreeSet<&str> = equivalence_tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    pub_fns(kernels_tokens)
+        .into_iter()
+        .filter(|(name, _)| !referenced.contains(name.as_str()))
+        .map(|(name, line)| Finding {
+            file: kernels_file.to_string(),
+            line,
+            rule: "kernel-coverage",
+            message: format!(
+                "pub kernel `{name}` is not referenced from {equivalence_file}; add it to \
+                 the bitwise-equivalence suite"
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn collects_pub_fns_in_all_forms() {
+        let src = "pub fn a() {}\nfn private() {}\npub unsafe fn c() {}\npub const fn d() {}\nimpl X { pub fn method(&self) {} }";
+        let fns: Vec<String> = pub_fns(&lex(src)).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(fns, vec!["a", "c", "d", "method"]);
+    }
+
+    #[test]
+    fn restricted_visibility_is_not_pub() {
+        // tests/ files cannot call these, so coverage cannot demand them.
+        let src = "pub(crate) fn b() {}\npub(super) fn s() {}\npub(in crate::par) fn p() {}\n";
+        assert!(pub_fns(&lex(src)).is_empty());
+    }
+
+    #[test]
+    fn unreferenced_kernel_is_flagged_at_its_line() {
+        let kernels = "pub fn covered(x: f32) -> f32 { x }\n\npub fn forgotten(x: f32) -> f32 { x }\n";
+        let suite = "#[test]\nfn t() { assert_eq!(covered(1.0), 1.0); }\n";
+        let f = check("k.rs", &lex(kernels), "suite.rs", &lex(suite));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "kernel-coverage");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("forgotten"));
+    }
+
+    #[test]
+    fn reference_in_suite_comment_does_not_count() {
+        let kernels = "pub fn ghost() {}\n";
+        let suite = "// ghost is tested elsewhere, honest\nfn t() {}\n";
+        let f = check("k.rs", &lex(kernels), "suite.rs", &lex(suite));
+        assert_eq!(f.len(), 1, "comment mentions must not satisfy coverage");
+    }
+
+    #[test]
+    fn private_helpers_are_exempt() {
+        let kernels = "fn helper() {}\npub fn entry() { helper() }\n";
+        let suite = "fn t() { entry(); }\n";
+        assert!(check("k.rs", &lex(kernels), "s.rs", &lex(suite)).is_empty());
+    }
+}

@@ -1,0 +1,7 @@
+//! The four rule families. Each is a pure function from tokens (plus
+//! configuration) to findings; the engine owns file IO and suppression.
+
+pub mod determinism;
+pub mod hot_alloc;
+pub mod kernel_coverage;
+pub mod unsafe_confinement;

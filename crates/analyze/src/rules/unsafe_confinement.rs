@@ -1,0 +1,120 @@
+//! Rule family 1: `unsafe` confinement.
+//!
+//! The workspace denies `unsafe_code` everywhere except two audited
+//! files (ROADMAP standing constraint): the worker-pool claim/quiesce
+//! protocol and the counting global allocator. This rule makes the
+//! confinement mechanical:
+//!
+//! * `unsafe-confinement` — an `unsafe` token in any file outside the
+//!   allow-list is a finding, even where `#![allow(unsafe_code)]` might
+//!   have snuck in;
+//! * `unsafe-safety-comment` — inside the allowed files, every `unsafe`
+//!   token (block, fn, impl, or fn-pointer type) must be preceded by a
+//!   comment containing `SAFETY:` ending no more than
+//!   [`SAFETY_WINDOW`] lines above it, so each unsafe site carries its
+//!   argument next to the code.
+
+use crate::config::Config;
+use crate::lexer::Tok;
+use crate::report::Finding;
+
+/// How many lines above an `unsafe` token a `SAFETY:` comment may end
+/// and still count as covering it. Generous enough for an attribute or
+/// a signature line between comment and keyword, tight enough that a
+/// file-header comment cannot blanket a whole module.
+pub const SAFETY_WINDOW: u32 = 3;
+
+/// Runs the unsafe-confinement family over one file.
+pub fn check(file: &str, tokens: &[Tok], cfg: &Config) -> Vec<Finding> {
+    let allowed = cfg.allowed_unsafe.iter().any(|p| p == file);
+    let mut findings = Vec::new();
+    for tok in tokens {
+        if !tok.is_ident("unsafe") {
+            continue;
+        }
+        if !allowed {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: tok.line,
+                rule: "unsafe-confinement",
+                message: format!(
+                    "`unsafe` is confined to {}; move the code there or redesign without it",
+                    cfg.allowed_unsafe.join(", ")
+                ),
+            });
+        } else if !has_safety_comment(tokens, tok.line) {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: tok.line,
+                rule: "unsafe-safety-comment",
+                message: "`unsafe` without a preceding `// SAFETY:` comment".to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// Whether any comment containing `SAFETY:` ends within
+/// [`SAFETY_WINDOW`] lines above `line` (or on it, for trailing
+/// comments).
+fn has_safety_comment(tokens: &[Tok], line: u32) -> bool {
+    let lo = line.saturating_sub(SAFETY_WINDOW);
+    tokens.iter().any(|t| {
+        t.is_comment() && t.text.contains("SAFETY:") && t.end_line >= lo && t.end_line <= line
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn cfg() -> Config {
+        Config { allowed_unsafe: vec!["ok.rs".to_string()], ..Config::default() }
+    }
+
+    #[test]
+    fn unsafe_outside_allowlist_is_flagged() {
+        let toks = lex("fn f() { unsafe { danger() } }");
+        let f = check("other.rs", &toks, &cfg());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "unsafe-confinement");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn allowed_file_needs_safety_comment() {
+        let toks = lex("fn f() {\n    unsafe { danger() }\n}");
+        let f = check("ok.rs", &toks, &cfg());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "unsafe-safety-comment");
+    }
+
+    #[test]
+    fn safety_comment_satisfies_rule() {
+        let toks = lex("fn f() {\n    // SAFETY: the pointer is valid for the scope.\n    unsafe { danger() }\n}");
+        assert!(check("ok.rs", &toks, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_too_far_above_does_not_count() {
+        let src = "// SAFETY: stale header\n\n\n\n\n\nfn f() { unsafe { x() } }";
+        let toks = lex(src);
+        let f = check("ok.rs", &toks, &cfg());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "unsafe-safety-comment");
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_ignored() {
+        let toks = lex("// this fn is not unsafe\nfn f() { let s = \"unsafe\"; }");
+        assert!(check("other.rs", &toks, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn block_safety_comment_end_line_counts() {
+        let src = "/* SAFETY: long argument\nspanning lines */\nunsafe fn g() {}";
+        let toks = lex(src);
+        assert!(check("ok.rs", &toks, &cfg()).is_empty());
+    }
+}

@@ -15,7 +15,7 @@
 //! materialize-temporaries implementation, so updates are bitwise
 //! identical to it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use gnmr_tensor::Matrix;
 
@@ -82,8 +82,8 @@ pub struct Adam {
     /// (the paper uses 0.96).
     pub lr_decay: f32,
     t: u64,
-    m: HashMap<String, Matrix>,
-    v: HashMap<String, Matrix>,
+    m: BTreeMap<String, Matrix>,
+    v: BTreeMap<String, Matrix>,
 }
 
 impl Adam {
@@ -98,8 +98,8 @@ impl Adam {
             weight_decay: 0.0,
             lr_decay: 0.96,
             t: 0,
-            m: HashMap::new(),
-            v: HashMap::new(),
+            m: BTreeMap::new(),
+            v: BTreeMap::new(),
         }
     }
 

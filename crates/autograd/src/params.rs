@@ -5,7 +5,7 @@
 //! pass, [`Ctx::grads`] runs backward and returns the named gradients,
 //! which an optimizer applies back to the store.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use gnmr_tensor::{Arena, Matrix};
 
@@ -109,12 +109,17 @@ impl ParamStore {
 /// gradient is recycled into an [`Arena`] (see [`Grads::recycle`]), so
 /// a steady-state training loop refills the same map every step
 /// without touching the allocator.
+///
+/// Backed by a `BTreeMap` so every iteration-order-sensitive consumer
+/// — [`Grads::global_norm`]'s float accumulation above all — is
+/// deterministic, per the workspace determinism contract
+/// (`gnmr-analyze` rule `det-map-iter`).
 #[derive(Default, Clone)]
 pub struct Grads {
     /// `None` marks a slot whose matrix was recycled (or a parameter
     /// that did not participate this step); keys persist so refills
     /// never re-allocate the name.
-    entries: HashMap<String, Option<Matrix>>,
+    entries: BTreeMap<String, Option<Matrix>>,
 }
 
 impl Grads {
@@ -123,7 +128,7 @@ impl Grads {
         self.entries.get(name).and_then(Option::as_ref)
     }
 
-    /// Iterates over `(name, grad)` pairs (unordered).
+    /// Iterates over `(name, grad)` pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Matrix)> {
         self.entries.iter().filter_map(|(k, v)| v.as_ref().map(|m| (k.as_str(), m)))
     }
@@ -193,13 +198,16 @@ pub struct Ctx<'s> {
     /// The underlying tape; models call op methods directly on it.
     pub g: Graph,
     store: &'s ParamStore,
-    bound: HashMap<String, Var>,
+    /// `BTreeMap` so gradient extraction walks parameters in name
+    /// order (deterministic arena traffic; see the crate's
+    /// determinism contract).
+    bound: BTreeMap<String, Var>,
 }
 
 impl<'s> Ctx<'s> {
     /// Starts a new step over `store`.
     pub fn new(store: &'s ParamStore) -> Self {
-        Self { g: Graph::new(), store, bound: HashMap::new() }
+        Self { g: Graph::new(), store, bound: BTreeMap::new() }
     }
 
     /// Binds (or re-uses) the parameter `name` as a tape leaf.
@@ -225,7 +233,7 @@ impl<'s> Ctx<'s> {
     /// [`Grads`], which allocates nothing after warm-up.
     pub fn grads(mut self, loss: Var) -> Grads {
         self.g.backward(loss);
-        let mut entries = HashMap::with_capacity(self.bound.len());
+        let mut entries = BTreeMap::new();
         for (name, var) in self.bound {
             if let Some(grad) = self.g.grad(var) {
                 entries.insert(name, Some(grad.clone()));

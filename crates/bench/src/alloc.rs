@@ -32,22 +32,32 @@ static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 pub struct CountingAllocator;
 
 #[allow(unsafe_code)]
+// SAFETY: every method forwards its arguments verbatim to `System`,
+// so `System`'s own `GlobalAlloc` contract (layout validity, pointer
+// provenance) is upheld unchanged; the counter bump is a plain atomic.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller upholds `GlobalAlloc::alloc`'s layout contract;
+    // delegated to `System` untouched.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: same pass-through as `alloc`; `System` zeroes the block.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc_zeroed(layout)
     }
 
+    // SAFETY: `ptr`/`layout` come from a prior `alloc` on this same
+    // allocator, which is `System` — the pair the contract requires.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: frees only pointers this allocator handed out via
+    // `System`; untracked on purpose (the gate counts pressure).
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }

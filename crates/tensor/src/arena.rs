@@ -36,7 +36,7 @@
 //! check one back in is a lost *reuse*, never a leak or a soundness
 //! issue (the matrix frees normally on drop).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -51,7 +51,7 @@ type Shelf = Vec<Vec<f32>>;
 #[derive(Default)]
 pub struct Arena {
     /// `(rows, cols) -> stack of spare buffers` of exactly that shape.
-    shelves: Mutex<HashMap<(usize, usize), Shelf>>,
+    shelves: Mutex<BTreeMap<(usize, usize), Shelf>>,
     /// Checkouts served by a fresh heap allocation (shelf was empty).
     minted: AtomicUsize,
     /// Checkouts served from a shelf without touching the allocator.

@@ -986,6 +986,7 @@ where
     let n = dst.len();
     let (ad, bd) = (a.data(), b.data());
     par::for_each_row_chunk(dst.data_mut(), n, threads, |range, chunk| {
+        // gnmr-analyze: allow(hot-alloc) -- Range<usize>::clone is a stack copy of two words, no heap traffic
         for ((o, &x), &y) in chunk.iter_mut().zip(&ad[range.clone()]).zip(&bd[range]) {
             *o = f(x, y);
         }
@@ -1013,6 +1014,7 @@ where
     let n = dst.len();
     let (ad, bd) = (a.data(), b.data());
     par::for_each_row_chunk(dst.data_mut(), n, threads, |range, chunk| {
+        // gnmr-analyze: allow(hot-alloc) -- Range<usize>::clone is a stack copy of two words, no heap traffic
         for ((o, &x), &y) in chunk.iter_mut().zip(&ad[range.clone()]).zip(&bd[range]) {
             *o += f(x, y);
         }

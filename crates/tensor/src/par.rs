@@ -330,14 +330,18 @@ struct Job {
     /// calling thread once the job has fully quiesced.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
     /// Monomorphized trampoline running chunk `i` of the call context.
+    // SAFETY: callers must pass the `ctx` this fn pointer was
+    // monomorphized for; enforced by construction in `run_chunks`.
     run: unsafe fn(*const (), usize),
     /// Type-erased pointer to the caller-stack closure.
     ctx: *const (),
 }
 
-// Safety: `ctx` crosses threads, but is only dereferenced under the
+// SAFETY: `ctx` crosses threads, but is only dereferenced under the
 // claim protocol described on the struct; everything else is Sync.
 unsafe impl Send for Job {}
+// SAFETY: same argument as `Send` above — shared access is mediated
+// by the chunk-claim protocol and the interior mutexes.
 unsafe impl Sync for Job {}
 
 impl Job {
@@ -391,6 +395,10 @@ impl Job {
         // the completion protocol (the caller would deadlock and
         // the borrow it holds would outlive the unwinding), so the
         // payload is parked and rethrown by the caller.
+        //
+        // SAFETY: `ctx` points at the caller's closure, alive until
+        // `wait` returns, and `run` is the trampoline monomorphized
+        // for exactly that closure type.
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| unsafe {
             (self.run)(self.ctx, i)
         }));
@@ -555,7 +563,11 @@ pub fn pool_workers() -> usize {
     })
 }
 
+// SAFETY: caller must pass a `ctx` obtained by erasing a live `&F`;
+// `run_chunks` pairs each trampoline with its own closure's pointer.
 unsafe fn trampoline<F: Fn(usize) + Sync>(ctx: *const (), i: usize) {
+    // SAFETY: per the fn contract, `ctx` is a valid `*const F` whose
+    // referent outlives the dispatch (the caller blocks in `wait`).
     unsafe { (*ctx.cast::<F>())(i) }
 }
 
@@ -649,7 +661,12 @@ fn run_chunks<F: Fn(usize) + Sync>(chunks: usize, participants: usize, schedule:
 /// A raw pointer that may cross threads; used to hand each claimed
 /// chunk a disjoint `&mut` slice of the caller's buffer.
 struct SendPtr<T>(*mut T);
+// SAFETY: the pointer is only turned into `&mut` slices over disjoint
+// chunk ranges (asserted to tile by the dispatchers), so moving it
+// across threads cannot alias.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: shared access hands out only disjoint ranges — same
+// tiling argument as `Send` above.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
@@ -752,7 +769,7 @@ fn row_chunk_dispatch<T, F>(
     let base = SendPtr(data.as_mut_ptr());
     run_chunks(ranges.len(), threads, schedule, &|i: usize| {
         let range = ranges[i].clone();
-        // Safety: the ranges tile 0..rows (validated by the caller), so
+        // SAFETY: the ranges tile 0..rows (validated by the caller), so
         // each chunk is an exclusive slice of `data`, which the caller
         // borrows mutably for the whole (blocking) call.
         let chunk = unsafe {
@@ -877,7 +894,7 @@ fn span_chunk_dispatch<T, F>(
     run_chunks(ranges.len(), threads, schedule, &|i: usize| {
         let range = ranges[i].clone();
         let (s, e) = (spans[range.start], spans[range.end]);
-        // Safety: the ranges tile the row set and span boundaries are
+        // SAFETY: the ranges tile the row set and span boundaries are
         // non-decreasing (asserted above), so element ranges are
         // disjoint; the caller's exclusive borrow outlives the call.
         let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(s), e - s) };

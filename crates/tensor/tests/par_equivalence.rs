@@ -592,6 +592,191 @@ fn skewed_hub_is_bitwise_identical_across_thread_counts() {
     assert_eq!(csr.transpose(), via_triplets);
 }
 
+// ----- auto-dispatch wrappers -----------------------------------------
+//
+// Every `*_with(threads)` kernel has a wrapper that picks its thread
+// count from the shared config (`matmul_tn`, `spmm_acc`, `axpy`, …).
+// The wrapper contract is pure delegation: identical bytes to the
+// explicit form for any config. `set_min_work(Some(1))` forces the
+// wrappers down their genuine parallel routes even on test-sized
+// shapes; this test is the single owner of that global (a second
+// concurrent owner could observe the other's override — the bytes
+// would still match, but the `min_work` value assertions would race).
+
+/// RAII guard forcing every auto-dispatch wrapper onto the parallel
+/// route; restores the default threshold on any exit.
+struct MinWorkOverride;
+
+impl MinWorkOverride {
+    fn force_parallel() -> Self {
+        kernels::set_min_work(Some(1));
+        MinWorkOverride
+    }
+}
+
+impl Drop for MinWorkOverride {
+    fn drop(&mut self) {
+        kernels::set_min_work(None);
+    }
+}
+
+#[test]
+fn auto_wrappers_match_explicit_thread_counts() {
+    // The threshold override round-trips (floor-clamped at 1) before
+    // the byte checks rely on it.
+    let default = kernels::min_work();
+    assert!(default > 1, "default PAR_MIN_WORK should be a real threshold");
+    kernels::set_min_work(Some(5));
+    assert_eq!(kernels::min_work(), 5);
+    kernels::set_min_work(Some(0));
+    assert_eq!(kernels::min_work(), 1, "Some(0) clamps to the floor");
+    kernels::set_min_work(None);
+    assert_eq!(kernels::min_work(), default);
+
+    let _caps = ThreadOverride::lift_caps();
+    let _work = MinWorkOverride::force_parallel();
+
+    // Dense product wrappers against their serial references.
+    let a = Matrix::from_fn(13, 11, |r, c| ((r * 19 + c * 5) as f32 * 0.11).sin());
+    let b = Matrix::from_fn(11, 9, |r, c| ((r * 3 + c * 13) as f32 * 0.23).cos());
+    let same_rows = Matrix::from_fn(13, 9, |r, c| ((r + 4 * c) as f32 * 0.07).sin());
+    let same_cols = Matrix::from_fn(7, 11, |r, c| ((2 * r + c) as f32 * 0.19).cos());
+    assert_eq!(kernels::matmul_tn(&a, &same_rows).data(), kernels::matmul_tn_serial(&a, &same_rows).data());
+    assert_eq!(kernels::matmul_nt(&a, &same_cols).data(), kernels::matmul_nt_serial(&a, &same_cols).data());
+
+    let dirty = Matrix::from_fn(13, 9, |r, c| ((r * 7 + c) as f32 * 0.31).sin());
+    let mut got = dirty.clone();
+    let mut want = dirty.clone();
+    kernels::matmul_acc(&mut got, &a, &b);
+    kernels::matmul_acc_with(&mut want, &a, &b, 1);
+    assert_eq!(got.data(), want.data(), "matmul_acc");
+
+    let tn_dirty = Matrix::from_fn(11, 9, |r, c| ((r + c * 3) as f32 * 0.17).cos());
+    let mut got = tn_dirty.clone();
+    let mut want = tn_dirty.clone();
+    kernels::matmul_tn_acc(&mut got, &a, &same_rows);
+    kernels::matmul_tn_acc_with(&mut want, &a, &same_rows, 1);
+    assert_eq!(got.data(), want.data(), "matmul_tn_acc");
+
+    let nt_dirty = Matrix::from_fn(13, 7, |r, c| ((r * 5 + c) as f32 * 0.13).sin());
+    let mut got = nt_dirty.clone();
+    let mut want = nt_dirty.clone();
+    kernels::matmul_nt_acc(&mut got, &a, &same_cols);
+    kernels::matmul_nt_acc_with(&mut want, &a, &same_cols, 1);
+    assert_eq!(got.data(), want.data(), "matmul_nt_acc");
+    let mut got = nt_dirty.clone();
+    let mut want = nt_dirty;
+    kernels::matmul_nt_into(&mut got, &a, &same_cols);
+    kernels::matmul_nt_into_with(&mut want, &a, &same_cols, 1);
+    assert_eq!(got.data(), want.data(), "matmul_nt_into");
+
+    // Sparse wrappers.
+    let csr = Csr::from_triplets(
+        12,
+        10,
+        &(0..60)
+            .map(|i| ((i * 7 % 12) as u32, (i * 11 % 10) as u32, (i as f32 * 0.21).sin()))
+            .collect::<Vec<_>>(),
+    );
+    let x = Matrix::from_fn(10, 5, |r, c| ((r + 2 * c) as f32 * 0.09).cos());
+    let xt = Matrix::from_fn(12, 5, |r, c| ((3 * r + c) as f32 * 0.09).sin());
+    assert_eq!(kernels::spmm(&csr, &x).data(), kernels::spmm_serial(&csr, &x).data());
+    assert_eq!(kernels::spmm_t(&csr, &xt).data(), kernels::spmm_t_serial(&csr, &xt).data());
+    let mut got = Matrix::zeros(12, 5);
+    let mut want = Matrix::zeros(12, 5);
+    kernels::spmm_acc(&mut got, &csr, &x);
+    kernels::spmm_acc_with(&mut want, &csr, &x, 1);
+    assert_eq!(got.data(), want.data(), "spmm_acc");
+    let mut got = Matrix::zeros(10, 5);
+    let mut want = Matrix::zeros(10, 5);
+    kernels::spmm_t_acc(&mut got, &csr, &xt);
+    kernels::spmm_t_acc_with(&mut want, &csr, &xt, 1);
+    assert_eq!(got.data(), want.data(), "spmm_t_acc");
+
+    // Elementwise wrappers.
+    let base = Matrix::from_fn(9, 8, |r, c| ((r * 11 + c * 2) as f32 * 0.27).sin());
+    let src = Matrix::from_fn(9, 8, |r, c| ((r + 7 * c) as f32 * 0.33).cos());
+    let f = |p: f32, q: f32| if q > 0.0 { p } else { p * 0.25 };
+    for t in 1..=3usize {
+        let mut got = base.clone();
+        let mut want = base.clone();
+        kernels::add_assign(&mut got, &src);
+        kernels::add_assign_with(&mut want, &src, t);
+        assert_eq!(got.data(), want.data(), "add_assign threads={t}");
+        let mut got = base.clone();
+        let mut want = base.clone();
+        kernels::axpy(&mut got, &src, 0.6);
+        kernels::axpy_with(&mut want, &src, 0.6, t);
+        assert_eq!(got.data(), want.data(), "axpy threads={t}");
+        let mut got = base.clone();
+        let mut want = base.clone();
+        kernels::scale_into(&mut got, &src, -1.7);
+        kernels::scale_into_with(&mut want, &src, -1.7, t);
+        assert_eq!(got.data(), want.data(), "scale_into threads={t}");
+        let mut got = base.clone();
+        let mut want = base.clone();
+        kernels::scale_assign(&mut got, 2.3);
+        kernels::scale_assign_with(&mut want, 2.3, t);
+        assert_eq!(got.data(), want.data(), "scale_assign threads={t}");
+        let mut got = base.clone();
+        let mut want = base.clone();
+        kernels::hadamard_assign(&mut got, &src);
+        kernels::hadamard_assign_with(&mut want, &src, t);
+        assert_eq!(got.data(), want.data(), "hadamard_assign threads={t}");
+        let mut got = base.clone();
+        let mut want = base.clone();
+        kernels::zip_map_assign(&mut got, &src, f);
+        kernels::zip_map_assign_with(&mut want, &src, f, t);
+        assert_eq!(got.data(), want.data(), "zip_map_assign threads={t}");
+        let mut got = base.clone();
+        let mut want = base.clone();
+        kernels::zip_map_into(&mut got, &base, &src, f);
+        kernels::zip_map_into_with(&mut want, &base, &src, f, t);
+        assert_eq!(got.data(), want.data(), "zip_map_into threads={t}");
+        let mut got = base.clone();
+        let mut want = base.clone();
+        kernels::zip_map_acc(&mut got, &base, &src, f);
+        kernels::zip_map_acc_with(&mut want, &base, &src, f, t);
+        assert_eq!(got.data(), want.data(), "zip_map_acc threads={t}");
+    }
+
+    // Scatter-add and row-dot wrappers.
+    let indices: Vec<u32> = (0..base.rows() as u32).map(|i| (i * 5 + 2) % 4).collect();
+    let mut got = Matrix::zeros(4, base.cols());
+    let mut want = Matrix::zeros(4, base.cols());
+    kernels::scatter_add_rows(&mut got, &indices, &base);
+    kernels::scatter_add_rows_with(&mut want, &indices, &base, 1);
+    assert_eq!(got.data(), want.data(), "scatter_add_rows");
+
+    let query: Vec<f32> = (0..base.cols()).map(|i| (i as f32 * 0.41).sin()).collect();
+    let serial: Vec<f32> = (0..base.rows())
+        .map(|r| base.row(r).iter().zip(&query).map(|(&p, &q)| p * q).sum())
+        .collect();
+    assert_eq!(kernels::row_dots(&base, &query), serial, "row_dots");
+    for t in 1..=3usize {
+        assert_eq!(kernels::row_dots_with(&base, &query, t), serial, "row_dots_with threads={t}");
+    }
+}
+
+#[test]
+fn transpose_kernels_match_materialized_transpose() {
+    let src = Matrix::from_fn(7, 12, |r, c| ((r * 13 + c * 3) as f32 * 0.19).sin());
+    let transposed = Matrix::from_fn(12, 7, |r, c| src.get(c, r));
+    let dst0 = Matrix::from_fn(12, 7, |r, c| ((r + 5 * c) as f32 * 0.23).cos());
+    // transpose_into overwrites a dirty buffer completely.
+    let mut dirty = dst0.clone();
+    kernels::transpose_into(&mut dirty, &src);
+    assert_eq!(dirty.data(), transposed.data());
+    // transpose_acc == materialize src^T, then add_assign it.
+    let mut expected = dst0.clone();
+    for (e, &x) in expected.data_mut().iter_mut().zip(transposed.data()) {
+        *e += x;
+    }
+    let mut acc = dst0;
+    kernels::transpose_acc(&mut acc, &src);
+    assert_eq!(acc.data(), expected.data());
+}
+
 #[test]
 fn auto_dispatch_is_thread_count_invariant() {
     // 64*64*80 = 327,680 multiply-adds: above PAR_MIN_WORK, so the
