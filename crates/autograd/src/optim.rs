@@ -17,24 +17,43 @@
 
 use std::collections::BTreeMap;
 
+use gnmr_tensor::kernels::LANES;
 use gnmr_tensor::Matrix;
 
 use crate::params::{Grads, ParamStore};
 
 /// Fused SGD update for one tensor: `w -= lr * (g + 2*wd*w)`, one pass,
-/// no temporaries. Per element this is the exact float sequence of the
-/// old clone-then-`add_scaled_assign` path.
+/// no temporaries. The loop body is blocked into fixed
+/// [`LANES`]-element groups (explicit scalar remainder) so LLVM
+/// autovectorizes it; the update is elementwise, so blocking changes
+/// no accumulation order and per element this is still the exact float
+/// sequence of the old clone-then-`add_scaled_assign` path.
 pub fn sgd_step(w: &mut Matrix, g: &Matrix, lr: f32, weight_decay: f32) {
     assert_eq!(w.shape(), g.shape(), "sgd_step: shape mismatch");
     let nlr = -lr;
     if weight_decay > 0.0 {
         let s = 2.0 * weight_decay;
-        for (wv, &gv) in w.data_mut().iter_mut().zip(g.data()) {
+        let mut wc = w.data_mut().chunks_exact_mut(LANES);
+        let mut gc = g.data().chunks_exact(LANES);
+        for (wb, gb) in (&mut wc).zip(&mut gc) {
+            for l in 0..LANES {
+                let eff = gb[l] + s * wb[l];
+                wb[l] += nlr * eff;
+            }
+        }
+        for (wv, &gv) in wc.into_remainder().iter_mut().zip(gc.remainder()) {
             let eff = gv + s * *wv;
             *wv += nlr * eff;
         }
     } else {
-        for (wv, &gv) in w.data_mut().iter_mut().zip(g.data()) {
+        let mut wc = w.data_mut().chunks_exact_mut(LANES);
+        let mut gc = g.data().chunks_exact(LANES);
+        for (wb, gb) in (&mut wc).zip(&mut gc) {
+            for l in 0..LANES {
+                wb[l] += nlr * gb[l];
+            }
+        }
+        for (wv, &gv) in wc.into_remainder().iter_mut().zip(gc.remainder()) {
             *wv += nlr * gv;
         }
     }
@@ -171,7 +190,11 @@ pub struct AdamStep {
 /// with no temporaries. Element-for-element the same float expressions
 /// (and evaluation order) as the historical
 /// clone/`scale_assign`/`add_scaled_assign`/`hadamard` sequence, so
-/// updates are bitwise identical to it.
+/// updates are bitwise identical to it. Like [`sgd_step`] the pass is
+/// blocked into fixed [`LANES`]-element groups with the weight-decay
+/// branch hoisted out of the loop, so LLVM vectorizes the whole update
+/// chain (including the `sqrt` and divides); blocking an elementwise
+/// update reorders nothing.
 pub fn adam_step(w: &mut Matrix, g: &Matrix, m: &mut Matrix, v: &mut Matrix, p: &AdamStep) {
     assert_eq!(w.shape(), g.shape(), "adam_step: grad shape mismatch");
     assert_eq!(w.shape(), m.shape(), "adam_step: first-moment shape mismatch");
@@ -180,11 +203,42 @@ pub fn adam_step(w: &mut Matrix, g: &Matrix, m: &mut Matrix, v: &mut Matrix, p: 
     let om1 = 1.0 - p.beta1;
     let om2 = 1.0 - p.beta2;
     let decayed = p.weight_decay > 0.0;
-    for ((wv, &gv), (mv, vv)) in w
-        .data_mut()
+    let mut wc = w.data_mut().chunks_exact_mut(LANES);
+    let mut gc = g.data().chunks_exact(LANES);
+    let mut mc = m.data_mut().chunks_exact_mut(LANES);
+    let mut vc = v.data_mut().chunks_exact_mut(LANES);
+    if decayed {
+        for (((wb, gb), mb), vb) in (&mut wc).zip(&mut gc).zip(&mut mc).zip(&mut vc) {
+            for l in 0..LANES {
+                let eff = gb[l] + s_wd * wb[l];
+                let mi = mb[l] * p.beta1 + om1 * eff;
+                let vi = vb[l] * p.beta2 + om2 * (eff * eff);
+                mb[l] = mi;
+                vb[l] = vi;
+                let m_hat = mi / p.bc1;
+                let v_hat = vi / p.bc2;
+                wb[l] -= p.lr * m_hat / (v_hat.sqrt() + p.eps);
+            }
+        }
+    } else {
+        for (((wb, gb), mb), vb) in (&mut wc).zip(&mut gc).zip(&mut mc).zip(&mut vc) {
+            for l in 0..LANES {
+                let eff = gb[l];
+                let mi = mb[l] * p.beta1 + om1 * eff;
+                let vi = vb[l] * p.beta2 + om2 * (eff * eff);
+                mb[l] = mi;
+                vb[l] = vi;
+                let m_hat = mi / p.bc1;
+                let v_hat = vi / p.bc2;
+                wb[l] -= p.lr * m_hat / (v_hat.sqrt() + p.eps);
+            }
+        }
+    }
+    for ((wv, &gv), (mv, vv)) in wc
+        .into_remainder()
         .iter_mut()
-        .zip(g.data())
-        .zip(m.data_mut().iter_mut().zip(v.data_mut().iter_mut()))
+        .zip(gc.remainder())
+        .zip(mc.into_remainder().iter_mut().zip(vc.into_remainder().iter_mut()))
     {
         let eff = if decayed { gv + s_wd * *wv } else { gv };
         let mi = *mv * p.beta1 + om1 * eff;

@@ -21,7 +21,8 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use gnmr::tensor::{init, kernels, par, rng, Csr};
+use gnmr::autograd::{adam_step, AdamStep};
+use gnmr::tensor::{init, kernels, par, rng, Csr, Matrix};
 use gnmr_bench::output::results_dir;
 use rand::Rng;
 
@@ -117,6 +118,27 @@ fn push_cells(
             speedup_vs_serial: serial_ns as f64 / ns.max(1) as f64,
         });
     }
+}
+
+/// Measures a single-variant op (no `*_with` form — the optimizer
+/// kernels take no thread count): one "serial" row, same min-of-rounds
+/// discipline as [`push_cells`].
+fn push_serial_cell(records: &mut Vec<Record>, op: &'static str, shape: String, mut f: impl FnMut()) {
+    let target = TARGET.load(std::sync::atomic::Ordering::Relaxed) as u128;
+    let block_ms = (target / ROUNDS).max(1);
+    f();
+    let mut best = u128::MAX;
+    for _ in 0..ROUNDS {
+        best = best.min(time_block(&mut f, block_ms));
+    }
+    records.push(Record {
+        op,
+        shape,
+        variant: "serial".into(),
+        threads: 1,
+        ns_per_iter: best,
+        speedup_vs_serial: 1.0,
+    });
 }
 
 fn random_csr(rows: usize, cols: usize, nnz: usize, seed: u64) -> Csr {
@@ -408,6 +430,102 @@ fn main() {
         },
         |t| {
             black_box(kernels::spmm_t_with(&skew, &skew_xt, t));
+        },
+    );
+
+    // Element-wise / optimizer / serving rows: the fixed-lane rewrite
+    // targets these flat loops directly, so their trajectory is
+    // archived alongside the matmul family. 1024x512 is a parameter
+    // block at embedding-table scale; 20000x64 is a catalog scoring
+    // pass on the serving path.
+    let (er, ec) = (1024usize, 512);
+    let esrc = init::uniform(er, ec, -1.0, 1.0, &mut rng::seeded(12));
+    let mut axpy_sdst = init::uniform(er, ec, -1.0, 1.0, &mut rng::seeded(13));
+    let mut axpy_pdst = axpy_sdst.clone();
+    push_cells(
+        &mut records,
+        "axpy",
+        format!("{er}x{ec}"),
+        "serial_1t",
+        // The scale is tiny so thousands of timed iterations cannot
+        // drift the in-place destination toward inf and skew late
+        // rounds.
+        || {
+            kernels::axpy_with(&mut axpy_sdst, &esrc, 1e-6, 1);
+            black_box(&axpy_sdst);
+        },
+        |t| {
+            kernels::axpy_with(&mut axpy_pdst, &esrc, 1e-6, t);
+            black_box(&axpy_pdst);
+        },
+    );
+
+    // Strictly positive factors and their reciprocals: each iteration
+    // multiplies by src then by 1/src, so the destination orbits its
+    // starting point (within an ulp per round trip) instead of
+    // decaying to zero or blowing up over the measurement loop.
+    let hsrc = init::uniform(er, ec, 0.5, 2.0, &mut rng::seeded(14));
+    let hinv = {
+        let mut m = hsrc.clone();
+        for x in m.data_mut() {
+            *x = 1.0 / *x;
+        }
+        m
+    };
+    let mut had_sdst = init::uniform(er, ec, 0.5, 2.0, &mut rng::seeded(15));
+    let mut had_pdst = had_sdst.clone();
+    push_cells(
+        &mut records,
+        "hadamard",
+        format!("2*{er}x{ec}"),
+        "serial_1t",
+        || {
+            kernels::hadamard_assign_with(&mut had_sdst, &hsrc, 1);
+            kernels::hadamard_assign_with(&mut had_sdst, &hinv, 1);
+            black_box(&had_sdst);
+        },
+        |t| {
+            kernels::hadamard_assign_with(&mut had_pdst, &hsrc, t);
+            kernels::hadamard_assign_with(&mut had_pdst, &hinv, t);
+            black_box(&had_pdst);
+        },
+    );
+
+    // The fused Adam update (4 streams in, 3 in-place) at parameter-
+    // block scale. No thread count — the optimizer is serial by
+    // design — so this is a single-variant row. A vanishing lr keeps
+    // the weights near their starting point across the loop.
+    let adam_g = init::uniform(er, ec, -1.0, 1.0, &mut rng::seeded(16));
+    let mut adam_w = init::uniform(er, ec, -1.0, 1.0, &mut rng::seeded(17));
+    let mut adam_m = Matrix::zeros(er, ec);
+    let mut adam_v = Matrix::zeros(er, ec);
+    let adam_p = AdamStep {
+        lr: 1e-7,
+        beta1: 0.9,
+        beta2: 0.999,
+        eps: 1e-8,
+        weight_decay: 0.0,
+        bc1: 1.0,
+        bc2: 1.0,
+    };
+    push_serial_cell(&mut records, "adam_step", format!("{er}x{ec}"), || {
+        adam_step(&mut adam_w, &adam_g, &mut adam_m, &mut adam_v, &adam_p);
+        black_box(&adam_w);
+    });
+
+    // Serving-path catalog scoring: one query against every item row.
+    let catalog = init::uniform(20_000, 64, -1.0, 1.0, &mut rng::seeded(18));
+    let query: Vec<f32> = (0..64).map(|i| ((i as f32) * 0.37).sin()).collect();
+    push_cells(
+        &mut records,
+        "row_dots",
+        "20000x64".into(),
+        "serial_1t",
+        || {
+            black_box(kernels::row_dots_with(&catalog, &query, 1));
+        },
+        |t| {
+            black_box(kernels::row_dots_with(&catalog, &query, t));
         },
     );
 

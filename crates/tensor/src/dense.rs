@@ -434,17 +434,13 @@ impl Matrix {
         out
     }
 
-    /// Row-wise dot products of two equally-shaped matrices (`rows x 1`).
+    /// Row-wise dot products of two equally-shaped matrices (`rows x 1`),
+    /// delegated to [`kernels::row_dot_into`] so the forward scores use
+    /// the same canonical lane order as every other dot reduction.
     pub fn row_dot(&self, other: &Matrix) -> Matrix {
         self.assert_same_shape(other, "row_dot");
         let mut out = Matrix::zeros(self.rows, 1);
-        for r in 0..self.rows {
-            let mut acc = 0.0;
-            for (a, b) in self.row(r).iter().zip(other.row(r)) {
-                acc += a * b;
-            }
-            out.data[r] = acc;
-        }
+        kernels::row_dot_into(&mut out, self, other);
         out
     }
 

@@ -15,6 +15,24 @@ use proptest::prelude::*;
 const THREADS: [usize; 3] = [1, 2, 4];
 const TOL: f32 = 1e-5;
 
+/// Plain scalar replay of the canonical `kernels::LANES = 8` reduction
+/// order: lane `l` accumulates the elements at indices ≡ `l` (mod 8) —
+/// the remainder of a non-multiple-of-8 length starts at an index
+/// ≡ 0 (mod 8), so an element's position within the remainder *is* its
+/// lane — and the eight partials collapse through the fixed pairwise
+/// tree `((l0+l1) + (l2+l3)) + ((l4+l5) + (l6+l7))`. Deliberately
+/// shares no code with the kernels: this is the executable spec the
+/// bitwise assertions below compare every dot-reduction entry point
+/// against.
+fn lane_dot_ref(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len());
+    let mut acc = [0.0f32; kernels::LANES];
+    for (i, (&a, &b)) in x.iter().zip(y).enumerate() {
+        acc[i % kernels::LANES] += a * b;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
 /// RAII guard lifting the oversubscription guard for one test body: an
 /// explicit `set_threads` override makes `*_with(t)` run the genuine
 /// parallel/stealing code paths even on a single-core machine (where
@@ -381,7 +399,9 @@ proptest! {
 
     #[test]
     fn row_dot_fused_match_allocate_then_combine((a, b) in elementwise_inputs()) {
-        let product = a.row_dot(&b);
+        // Per-row dots in the canonical lane order (the reference never
+        // shares code with the kernel under test).
+        let product = Matrix::from_fn(a.rows(), 1, |r, _| lane_dot_ref(a.row(r), b.row(r)));
         let dst0 = Matrix::from_fn(a.rows(), 1, |r, _| (r as f32 * 0.61 - 1.3).cos());
         let mut expected = dst0.clone();
         for (e, &x) in expected.data_mut().iter_mut().zip(product.data()) {
@@ -397,13 +417,11 @@ proptest! {
 
     #[test]
     fn softmax_backward_fused_match_allocate_then_combine((g, y) in elementwise_inputs()) {
-        // Allocate-then-combine reference: gy = g ⊙ y materialized,
-        // row totals via row_sums, product assembled per element.
-        let gy = g.hadamard(&y);
-        let totals = gy.row_sums();
+        // Allocate-then-combine reference: row totals `Σ g ⊙ y` replayed
+        // in the canonical lane order, product assembled per element.
         let mut product = Matrix::zeros(y.rows(), y.cols());
         for r in 0..y.rows() {
-            let t = totals.get(r, 0);
+            let t = lane_dot_ref(g.row(r), y.row(r));
             for c in 0..y.cols() {
                 product.set(r, c, y.get(r, c) * (g.get(r, c) - t));
             }
@@ -460,6 +478,97 @@ proptest! {
             kernels::spmm_t_acc_with(&mut dst_t, &csr, &xt, t);
             prop_assert_eq!(dst_t.data(), product_t.data(), "spmm_t_acc threads={}", t);
         }
+    }
+}
+
+// ----- canonical lane order (LANES = 8 dot reductions) ----------------
+//
+// The dot-reduction kernels — the `matmul_nt` family, `row_dots`,
+// `row_dot_into` / `row_dot_acc`, and the softmax-backward row totals —
+// accumulate in the fixed-lane order spelled out by `lane_dot_ref` at
+// the top of this file: machine-independent by construction, and the
+// same on every code path. These proptests pin every entry point
+// bitwise against that scalar spec across adversarial shapes: k % 8
+// ∈ {1..7} (every remainder length, on both sides of one full lane
+// block), single rows/columns, empty matrices, and below-`min_work`
+// sizes (the bare wrappers dispatch those serially, so both dispatch
+// outcomes are covered).
+
+/// `(a, b)` with equal column counts for the dot-reduction kernels;
+/// k ranges past one full lane block so every remainder length shows
+/// up both with and without a preceding full block.
+fn nt_lane_inputs() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (0usize..5, 0usize..20, 0usize..6).prop_flat_map(|(m, k, p)| (matrix(m, k), matrix(p, k)))
+}
+
+/// A catalog matrix and a conformable query vector for `row_dots`.
+fn row_dots_inputs() -> impl Strategy<Value = (Matrix, Vec<f32>)> {
+    (0usize..5, 0usize..20)
+        .prop_flat_map(|(m, k)| (matrix(m, k), proptest::collection::vec(-5.0f32..5.0, k)))
+}
+
+proptest! {
+    #[test]
+    fn matmul_nt_matches_lane_order_reference((a, b) in nt_lane_inputs()) {
+        let expected =
+            Matrix::from_fn(a.rows(), b.rows(), |i, j| lane_dot_ref(a.row(i), b.row(j)));
+        let serial = kernels::matmul_nt_serial(&a, &b);
+        prop_assert_eq!(serial.data(), expected.data());
+        let auto = kernels::matmul_nt(&a, &b);
+        prop_assert_eq!(auto.data(), expected.data());
+        for &t in &THREADS {
+            let got = kernels::matmul_nt_with(&a, &b, t);
+            prop_assert_eq!(got.data(), expected.data(), "threads={}", t);
+        }
+    }
+
+    #[test]
+    fn row_dots_matches_lane_order_reference((base, query) in row_dots_inputs()) {
+        let expected: Vec<f32> =
+            (0..base.rows()).map(|r| lane_dot_ref(base.row(r), &query)).collect();
+        prop_assert_eq!(&kernels::row_dots(&base, &query), &expected);
+        for &t in &THREADS {
+            prop_assert_eq!(&kernels::row_dots_with(&base, &query, t), &expected, "threads={}", t);
+        }
+    }
+
+    #[test]
+    fn matmul_into_packed_matches_serial((a, b, dst0) in matmul_acc_inputs()) {
+        // `matmul_into` overwrites a dirty destination with the product;
+        // under the thread override the parallel calls run the
+        // panel-packed tiled kernel, which must stay bitwise-serial
+        // (packing is a layout change, never an order change) even on
+        // pack-adversarial shapes: all-tail column counts (n < 8),
+        // row counts off the 4-row block, k across the lane remainder.
+        let _caps = ThreadOverride::lift_caps();
+        let reference = kernels::matmul_serial(&a, &b);
+        for &t in &THREADS {
+            let mut dst = dst0.clone();
+            kernels::matmul_into_with(&mut dst, &a, &b, t);
+            prop_assert_eq!(dst.data(), reference.data(), "threads={}", t);
+        }
+        let mut dst = dst0;
+        kernels::matmul_into(&mut dst, &a, &b);
+        prop_assert_eq!(dst.data(), reference.data(), "auto wrapper");
+    }
+}
+
+#[test]
+fn matmul_packed_tiling_boundaries_are_bitwise_serial() {
+    // Shapes straddling the pack tile sizes (TILE_K = 64 k-tiles, a
+    // ragged 519 % 8 = 7 column tail, 9 rows = two 4-row microkernel
+    // blocks plus a remainder row): the panel-packed path must stay
+    // bitwise-serial across every seam, at one thread (large-shape
+    // tiled route) and through the pool.
+    let _caps = ThreadOverride::lift_caps();
+    let a = Matrix::from_fn(9, 130, |r, c| ((r * 31 + c * 7) as f32 * 0.013).sin());
+    let b = Matrix::from_fn(130, 519, |r, c| ((r * 3 + c * 11) as f32 * 0.007).cos());
+    let reference = kernels::matmul_serial(&a, &b);
+    for t in 1..=4 {
+        assert_eq!(kernels::matmul_with(&a, &b, t).data(), reference.data(), "threads={t}");
+        let mut dst = Matrix::from_fn(9, 519, |r, c| (r as f32 - c as f32) * 0.1);
+        kernels::matmul_into_with(&mut dst, &a, &b, t);
+        assert_eq!(dst.data(), reference.data(), "into threads={t}");
     }
 }
 
@@ -749,9 +858,8 @@ fn auto_wrappers_match_explicit_thread_counts() {
     assert_eq!(got.data(), want.data(), "scatter_add_rows");
 
     let query: Vec<f32> = (0..base.cols()).map(|i| (i as f32 * 0.41).sin()).collect();
-    let serial: Vec<f32> = (0..base.rows())
-        .map(|r| base.row(r).iter().zip(&query).map(|(&p, &q)| p * q).sum())
-        .collect();
+    let serial: Vec<f32> =
+        (0..base.rows()).map(|r| lane_dot_ref(base.row(r), &query)).collect();
     assert_eq!(kernels::row_dots(&base, &query), serial, "row_dots");
     for t in 1..=3usize {
         assert_eq!(kernels::row_dots_with(&base, &query, t), serial, "row_dots_with threads={t}");

@@ -88,6 +88,49 @@ fn training_is_thread_count_invariant() {
 }
 
 #[test]
+fn packed_matmul_path_preserves_training_bytes() {
+    // The panel-packed tiled matmul is the parallel/large-shape route;
+    // with the explicit thread override (and `min_work` floored so this
+    // tiny model's products clear the dispatch threshold) the whole
+    // fit's dense products run through the packed microkernels at 2 and
+    // 4 threads, while the 1-thread run takes the plain serial loops.
+    // Packing is a layout change, never an order change, so parameters
+    // must be bitwise identical whichever path ran. (A concurrent test
+    // resetting the globals would only flip code paths, never bytes.)
+    gnmr::tensor::kernels::set_min_work(Some(1));
+    let run = |threads: usize| -> Vec<(String, Vec<u32>)> {
+        par::set_threads(Some(threads));
+        let data = gnmr::data::presets::tiny_taobao(4);
+        let mut model = Gnmr::new(
+            &data.graph,
+            GnmrConfig { pretrain: false, seed: 23, ..GnmrConfig::default() },
+        );
+        model.fit(&data.graph, &TrainConfig { epochs: 2, seed: 23, ..TrainConfig::fast_test() });
+        model
+            .params()
+            .iter()
+            .map(|(name, m)| (name.to_string(), m.data().iter().map(|v| v.to_bits()).collect()))
+            .collect()
+    };
+    let result = std::panic::catch_unwind(|| {
+        let serial = run(1);
+        assert!(!serial.is_empty());
+        for threads in [2usize, 4] {
+            let packed = run(threads);
+            for ((name_a, bits_a), (name_b, bits_b)) in serial.iter().zip(&packed) {
+                assert_eq!(name_a, name_b);
+                assert_eq!(bits_a, bits_b, "param {name_a}: packed path diverged at {threads} threads");
+            }
+        }
+    });
+    gnmr::tensor::kernels::set_min_work(None);
+    par::set_threads(None);
+    if let Err(payload) = result {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+#[test]
 fn datasets_and_baselines_are_reproducible() {
     let a = gnmr::data::presets::tiny_taobao(9);
     let b = gnmr::data::presets::tiny_taobao(9);
