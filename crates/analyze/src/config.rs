@@ -19,6 +19,8 @@ pub const RULE_IDS: &[&str] = &[
     "det-map-iter",
     "hot-alloc",
     "kernel-coverage",
+    "sync-facade",
+    "atomic-ordering-comment",
     "pragma-syntax",
 ];
 
@@ -83,6 +85,12 @@ pub struct Config {
     pub kernels_file: Option<String>,
     /// The equivalence-suite file every kernel must be referenced from.
     pub equivalence_file: Option<String>,
+    /// Model-checked files that must route all synchronization through
+    /// the `crate::sync` facade (no direct `std::sync`/`std::thread`).
+    pub facade_files: Vec<String>,
+    /// Audited concurrency files where every `Ordering::` use site
+    /// needs a justifying `// ORDERING:` comment.
+    pub ordering_comment_files: Vec<String>,
 }
 
 impl Config {
@@ -106,6 +114,11 @@ impl Config {
             hot_manifest: Vec::new(),
             kernels_file: Some("crates/tensor/src/kernels.rs".to_string()),
             equivalence_file: Some("crates/tensor/tests/par_equivalence.rs".to_string()),
+            facade_files: vec!["crates/tensor/src/par.rs".to_string()],
+            ordering_comment_files: vec![
+                "crates/tensor/src/par.rs".to_string(),
+                "crates/bench/src/alloc.rs".to_string(),
+            ],
         }
     }
 

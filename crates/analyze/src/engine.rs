@@ -12,7 +12,7 @@ use std::path::{Path, PathBuf};
 use crate::config::Config;
 use crate::lexer::{lex, Tok};
 use crate::report::{extract_pragmas, Finding, Report, Suppression};
-use crate::rules::{determinism, hot_alloc, kernel_coverage, unsafe_confinement};
+use crate::rules::{determinism, hot_alloc, kernel_coverage, sync_protocol, unsafe_confinement};
 
 /// Directory names never descended into.
 const SKIP_DIRS: &[&str] = &["target", "third_party"];
@@ -40,6 +40,7 @@ pub fn analyze_tree(root: &Path, cfg: &Config) -> Result<Report, String> {
         findings.extend(pragma_findings);
 
         findings.extend(unsafe_confinement::check(rel, toks, cfg));
+        findings.extend(sync_protocol::check(rel, toks, cfg));
         findings.extend(determinism::check_rng(rel, toks));
         if cfg.numeric_prefixes.iter().any(|p| rel.starts_with(p.as_str())) {
             findings.extend(determinism::check_map_iter(rel, toks));

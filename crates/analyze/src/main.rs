@@ -2,11 +2,14 @@
 //! rules enforce.
 //!
 //! ```text
-//! gnmr-analyze [--ci] [--root <dir>] [--list-rules]
+//! gnmr-analyze [--ci] [--json] [--root <dir>] [--list-rules]
 //! ```
 //!
 //! * default: print findings and a summary, exit 0 (informational);
 //! * `--ci`: exit 1 on any unsuppressed finding (the CI gate);
+//! * `--json`: emit the report as one JSON object on stdout instead of
+//!   the line-oriented text (exit-code semantics unchanged, composable
+//!   with `--ci`);
 //! * `--root`: lint a different tree (defaults to the enclosing cargo
 //!   workspace);
 //! * `--list-rules`: print the rule identifiers pragmas may reference.
@@ -18,11 +21,13 @@ use gnmr_analyze::{analyze_tree, find_workspace_root, Config, RULE_IDS};
 
 fn main() -> ExitCode {
     let mut ci = false;
+    let mut json = false;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--ci" => ci = true,
+            "--json" => json = true,
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage("--root requires a directory"),
@@ -67,7 +72,7 @@ fn main() -> ExitCode {
 
     match analyze_tree(&root, &cfg) {
         Ok(report) => {
-            print!("{}", report.render());
+            print!("{}", if json { report.render_json() } else { report.render() });
             if ci && !report.is_clean() {
                 eprintln!("gnmr-analyze: failing --ci run (unsuppressed findings above)");
                 ExitCode::FAILURE
@@ -84,6 +89,6 @@ fn main() -> ExitCode {
 
 fn usage(err: &str) -> ExitCode {
     eprintln!("gnmr-analyze: {err}");
-    eprintln!("usage: gnmr-analyze [--ci] [--root <dir>] [--list-rules]");
+    eprintln!("usage: gnmr-analyze [--ci] [--json] [--root <dir>] [--list-rules]");
     ExitCode::FAILURE
 }

@@ -136,6 +136,56 @@ impl Report {
         ));
         out
     }
+
+    /// Renders the report as a single JSON object (for `--json`):
+    /// `{"findings": [{file, line, rule, message}, ...], "suppressed":
+    /// N, "files_scanned": N, "clean": bool}`. Hand-rolled — the
+    /// workspace takes no external dependencies — so the escaping
+    /// covers exactly what findings can contain: text and numbers.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+                json_str(&f.file),
+                f.line,
+                json_str(f.rule),
+                json_str(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"suppressed\": {},\n  \"files_scanned\": {},\n  \"clean\": {}\n}}\n",
+            self.suppressed,
+            self.files_scanned,
+            self.is_clean()
+        ));
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 #[cfg(test)]
@@ -152,6 +202,36 @@ mod tests {
             message: "no".into(),
         };
         assert_eq!(f.to_string(), "crates/x/src/lib.rs:12:det-rng: no");
+    }
+
+    #[test]
+    fn json_report_escapes_and_summarizes() {
+        let report = Report {
+            findings: vec![Finding {
+                file: "crates/x/src/lib.rs".into(),
+                line: 7,
+                rule: "hot-alloc",
+                message: "allocation in `hot \"path\"`".into(),
+            }],
+            suppressed: 2,
+            files_scanned: 9,
+        };
+        let json = report.render_json();
+        assert!(json.contains("\"file\": \"crates/x/src/lib.rs\""));
+        assert!(json.contains("\"line\": 7"));
+        assert!(json.contains("\"rule\": \"hot-alloc\""));
+        assert!(json.contains(r#"allocation in `hot \"path\"`"#));
+        assert!(json.contains("\"suppressed\": 2"));
+        assert!(json.contains("\"files_scanned\": 9"));
+        assert!(json.contains("\"clean\": false"));
+    }
+
+    #[test]
+    fn json_report_empty_findings_is_clean() {
+        let report = Report { findings: vec![], suppressed: 0, files_scanned: 3 };
+        let json = report.render_json();
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"clean\": true"));
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! The four rule families. Each is a pure function from tokens (plus
+//! The five rule families. Each is a pure function from tokens (plus
 //! configuration) to findings; the engine owns file IO and suppression.
 
 pub mod determinism;
 pub mod hot_alloc;
 pub mod kernel_coverage;
+pub mod sync_protocol;
 pub mod unsafe_confinement;

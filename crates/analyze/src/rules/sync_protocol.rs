@@ -1,0 +1,205 @@
+//! Rule family 5: the model-checked sync protocol.
+//!
+//! `crates/tensor/src/par.rs` is model checked by `gnmr-check`, which
+//! recompiles the same source against a virtual-thread scheduler. That
+//! only works if the protocol performs *every* synchronization through
+//! the `crate::sync` facade — a direct `std::sync` / `std::thread` call
+//! would execute for real inside the model, invisible to the explorer.
+//! Two rules keep the arrangement sound:
+//!
+//! * `sync-facade` — inside the facade-bound files, naming `std::sync`
+//!   or `std::thread` is a finding (the facade re-exports or wraps
+//!   everything the protocol needs);
+//! * `atomic-ordering-comment` — every `Ordering::...` use site in the
+//!   audited concurrency files must be preceded (within
+//!   [`ORDERING_WINDOW`] lines) by a comment containing `ORDERING:`
+//!   arguing why that ordering suffices. The model is sequentially
+//!   consistent, so relaxed-ordering soundness can only be established
+//!   by local argument — this rule makes the argument mandatory, the
+//!   same discipline `SAFETY:` comments impose on `unsafe`.
+
+use crate::config::Config;
+use crate::lexer::Tok;
+use crate::report::Finding;
+
+/// How many lines above an `Ordering::` use an `ORDERING:` comment may
+/// end and still count as covering it (mirrors `SAFETY_WINDOW`).
+pub const ORDERING_WINDOW: u32 = 3;
+
+/// Runs the sync-protocol family over one file.
+pub fn check(file: &str, tokens: &[Tok], cfg: &Config) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if cfg.facade_files.iter().any(|p| p == file) {
+        findings.extend(check_facade(file, tokens));
+    }
+    if cfg.ordering_comment_files.iter().any(|p| p == file) {
+        findings.extend(check_ordering_comments(file, tokens));
+    }
+    findings
+}
+
+/// Flags `std::sync` / `std::thread` paths; code tokens only (comments
+/// and strings may discuss the modules freely).
+fn check_facade(file: &str, tokens: &[Tok]) -> Vec<Finding> {
+    let code: Vec<&Tok> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut findings = Vec::new();
+    for w in code.windows(4) {
+        if w[0].is_ident("std")
+            && w[1].is_punct(':')
+            && w[2].is_punct(':')
+            && (w[3].is_ident("sync") || w[3].is_ident("thread"))
+        {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: w[0].line,
+                rule: "sync-facade",
+                message: format!(
+                    "direct `std::{}` use in a model-checked file; route it through \
+                     `crate::sync` so gnmr-check sees the operation",
+                    w[3].text
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Flags `Ordering::...` uses lacking a nearby `// ORDERING:` comment.
+/// Bare `Ordering` identifiers (imports, type positions) are exempt —
+/// only use sites pick a memory ordering.
+fn check_ordering_comments(file: &str, tokens: &[Tok]) -> Vec<Finding> {
+    let code: Vec<&Tok> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let mut findings = Vec::new();
+    for w in code.windows(3) {
+        if w[0].is_ident("Ordering")
+            && w[1].is_punct(':')
+            && w[2].is_punct(':')
+            && !has_ordering_comment(tokens, w[0].line)
+        {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: w[0].line,
+                rule: "atomic-ordering-comment",
+                message: "`Ordering::` use without a preceding `// ORDERING:` comment \
+                          arguing why this ordering suffices"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// Whether a comment *run* containing `ORDERING:` ends within
+/// [`ORDERING_WINDOW`] lines above `line` (or on it). Consecutive
+/// line comments coalesce into one run, so a multi-line argument whose
+/// `ORDERING:` tag sits on the first line still covers a use just
+/// below the run's last line.
+fn has_ordering_comment(tokens: &[Tok], line: u32) -> bool {
+    let lo = line.saturating_sub(ORDERING_WINDOW);
+    let mut tagged = false; // current run mentions ORDERING:
+    let mut run_end = 0u32; // last line of the current run
+    for t in tokens {
+        if t.is_comment() && (run_end == 0 || t.line <= run_end + 1) {
+            tagged |= t.text.contains("ORDERING:");
+            run_end = run_end.max(t.end_line);
+        } else if t.is_comment() {
+            // A gap starts a new run.
+            tagged = t.text.contains("ORDERING:");
+            run_end = t.end_line;
+        } else {
+            continue;
+        }
+        if tagged && run_end >= lo && run_end <= line {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn cfg() -> Config {
+        Config {
+            facade_files: vec!["par.rs".to_string()],
+            ordering_comment_files: vec!["par.rs".to_string()],
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn std_sync_in_facade_file_is_flagged() {
+        let toks = lex("use std::sync::Mutex;\n");
+        let f = check("par.rs", &toks, &cfg());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "sync-facade");
+        assert!(f[0].message.contains("std::sync"));
+    }
+
+    #[test]
+    fn std_thread_in_facade_file_is_flagged() {
+        let toks = lex("fn f() { std::thread::spawn(|| {}); }\n");
+        let f = check("par.rs", &toks, &cfg());
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("std::thread"));
+    }
+
+    #[test]
+    fn facade_rule_ignores_other_files_and_other_std_paths() {
+        let toks = lex("use std::sync::Mutex;\n");
+        assert!(check("other.rs", &toks, &cfg()).is_empty());
+        let toks = lex("use std::panic::AssertUnwindSafe;\nuse std::collections::VecDeque;\n");
+        assert!(check("par.rs", &toks, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn facade_rule_ignores_comments_and_strings() {
+        let toks = lex("// never name std::sync here\nlet s = \"std::thread\";\n");
+        assert!(check("par.rs", &toks, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn ordering_without_comment_is_flagged() {
+        let toks = lex("fn f(a: &AtomicUsize) { a.load(Ordering::Relaxed); }\n");
+        let f = check("par.rs", &toks, &cfg());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "atomic-ordering-comment");
+    }
+
+    #[test]
+    fn ordering_with_comment_passes() {
+        let toks = lex(
+            "fn f(a: &AtomicUsize) {\n    // ORDERING: Relaxed — standalone flag.\n    a.load(Ordering::Relaxed);\n}\n",
+        );
+        assert!(check("par.rs", &toks, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn ordering_comment_too_far_above_does_not_count() {
+        let src = "// ORDERING: stale\n\n\n\n\n\nfn f(a: &AtomicUsize) { a.load(Ordering::SeqCst); }";
+        let f = check("par.rs", &lex(src), &cfg());
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn multi_line_ordering_run_covers_use_below_it() {
+        // The tag is on the first of five comment lines; the run's
+        // *end* is what the window is measured from.
+        let src = "fn f(a: &AtomicUsize) {\n\
+                   \x20   // ORDERING: Relaxed — the counter only\n\
+                   \x20   // partitions indices; fetch_add atomicity\n\
+                   \x20   // alone guarantees uniqueness, and outputs\n\
+                   \x20   // reach the caller through the done mutex,\n\
+                   \x20   // whose unlock/lock pair orders them.\n\
+                   \x20   a.load(Ordering::Relaxed);\n}\n";
+        assert!(check("par.rs", &lex(src), &cfg()).is_empty());
+    }
+
+    #[test]
+    fn bare_ordering_import_is_exempt() {
+        let toks = lex("use crate::sync::atomic::{AtomicUsize, Ordering};\n");
+        assert!(check("par.rs", &toks, &cfg()).is_empty());
+    }
+}

@@ -51,9 +51,7 @@ fn base_cfg() -> Config {
     Config {
         allowed_unsafe: vec!["src/par.rs".to_string()],
         numeric_prefixes: vec!["numeric/".to_string()],
-        hot_manifest: Vec::new(),
-        kernels_file: None,
-        equivalence_file: None,
+        ..Config::default()
     }
 }
 
@@ -200,6 +198,91 @@ fn fully_covered_kernels_are_clean() {
     fx.write("numeric/src/kernels.rs", "pub fn a() {}\npub fn b() {}\n");
     fx.write("numeric/tests/equiv.rs", "fn t() { a(); b(); }\n");
     assert!(fx.run(&coverage_cfg()).is_clean());
+}
+
+// ----- rule 5: sync protocol ------------------------------------------
+
+fn sync_cfg() -> Config {
+    let mut cfg = base_cfg();
+    cfg.facade_files = vec!["src/par.rs".to_string()];
+    cfg.ordering_comment_files = vec!["src/par.rs".to_string()];
+    cfg
+}
+
+#[test]
+fn std_sync_in_facade_file_is_flagged() {
+    let fx = Fixture::new("sync-facade");
+    fx.write(
+        "src/par.rs",
+        "use std::sync::Mutex;\npub fn f() { std::thread::yield_now(); }\n",
+    );
+    fx.write("src/lib.rs", "use std::sync::Mutex;\npub type M = Mutex<u32>;\n");
+    let report = fx.run(&sync_cfg());
+    // Both sites in par.rs flagged; lib.rs (not facade-bound) is free.
+    assert_eq!(rules_of(&report), vec!["sync-facade", "sync-facade"]);
+    assert!(report.findings.iter().all(|f| f.file == "src/par.rs"));
+}
+
+#[test]
+fn facade_reexports_and_crate_sync_are_clean() {
+    let fx = Fixture::new("sync-facade-clean");
+    fx.write(
+        "src/par.rs",
+        "use crate::sync::{Arc, Condvar, Mutex};\npub fn f() { crate::sync::spawn_named(\"w\", || {}); }\n",
+    );
+    assert!(fx.run(&sync_cfg()).is_clean());
+}
+
+#[test]
+fn ordering_use_without_comment_is_flagged() {
+    let fx = Fixture::new("ordering-comment");
+    fx.write(
+        "src/par.rs",
+        "use crate::sync::atomic::{AtomicUsize, Ordering};\npub fn f(a: &AtomicUsize) -> usize {\n    a.load(Ordering::Acquire)\n}\n",
+    );
+    let report = fx.run(&sync_cfg());
+    assert_eq!(rules_of(&report), vec!["atomic-ordering-comment"]);
+    assert_eq!(report.findings[0].line, 3);
+
+    // With the justifying comment: clean. (The import on line 1 is a
+    // bare `Ordering` path, never flagged.)
+    fx.write(
+        "src/par.rs",
+        "use crate::sync::atomic::{AtomicUsize, Ordering};\npub fn f(a: &AtomicUsize) -> usize {\n    // ORDERING: Acquire pairs with the Release store in g.\n    a.load(Ordering::Acquire)\n}\n",
+    );
+    assert!(fx.run(&sync_cfg()).is_clean());
+}
+
+#[test]
+fn sync_protocol_findings_are_pragma_suppressible() {
+    let fx = Fixture::new("sync-pragma");
+    fx.write(
+        "src/par.rs",
+        "// gnmr-analyze: allow(sync-facade) -- bootstrap before the facade exists\nuse std::sync::Mutex;\n",
+    );
+    let report = fx.run(&sync_cfg());
+    assert!(report.is_clean(), "findings: {:?}", report.findings);
+    assert_eq!(report.suppressed, 1);
+}
+
+// ----- JSON output ----------------------------------------------------
+
+#[test]
+fn json_render_reports_findings_machine_readably() {
+    let fx = Fixture::new("json");
+    fx.write("src/par.rs", "use std::sync::Mutex;\n");
+    let report = fx.run(&sync_cfg());
+    let json = report.render_json();
+    assert!(json.contains("\"rule\": \"sync-facade\""));
+    assert!(json.contains("\"file\": \"src/par.rs\""));
+    assert!(json.contains("\"line\": 1"));
+    assert!(json.contains("\"clean\": false"));
+    assert!(json.contains("\"message\": \"direct `std::sync` use"));
+    let clean = Fixture::new("json-clean");
+    clean.write("src/lib.rs", "pub fn ok() {}\n");
+    let json = clean.run(&sync_cfg()).render_json();
+    assert!(json.contains("\"findings\": []"));
+    assert!(json.contains("\"clean\": true"));
 }
 
 // ----- pragmas ---------------------------------------------------------

@@ -39,12 +39,15 @@ unsafe impl GlobalAlloc for CountingAllocator {
     // SAFETY: caller upholds `GlobalAlloc::alloc`'s layout contract;
     // delegated to `System` untouched.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // ORDERING: Relaxed — a standalone event counter; nothing is
+        // published through it, only before/after deltas are compared.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
     // SAFETY: same pass-through as `alloc`; `System` zeroes the block.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // ORDERING: Relaxed — same standalone counter as `alloc`.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc_zeroed(layout)
     }
@@ -52,6 +55,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     // SAFETY: `ptr`/`layout` come from a prior `alloc` on this same
     // allocator, which is `System` — the pair the contract requires.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // ORDERING: Relaxed — same standalone counter as `alloc`.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
@@ -76,6 +80,8 @@ static GLOBAL: CountingAllocator = CountingAllocator;
 /// drop(v);
 /// ```
 pub fn allocations() -> u64 {
+    // ORDERING: Relaxed — single-threaded delta reads around a measured
+    // region; monotone counter, no cross-thread publication to order.
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 

@@ -1,0 +1,7 @@
+// Marks this crate's builds as model-checking builds: par.rs (included
+// via #[path] from crates/tensor) uses `cfg(gnmr_model)` to gate out its
+// real-thread unit tests, which assume free-running OS threads rather
+// than the cooperative virtual-thread scheduler this crate substitutes.
+fn main() {
+    println!("cargo:rustc-cfg=gnmr_model");
+}

@@ -1,0 +1,270 @@
+//! The model-checking backend of the `sync` facade.
+//!
+//! Same surface as `gnmr_tensor::sync` — `crate::par` (the *real*
+//! `par.rs` source, included via `#[path]`) compiles against this
+//! module unchanged — but every operation is a schedule point routed
+//! through [`crate::sched`], and all state is **epoch-stamped** so the
+//! `static` protocol state in `par.rs` (the pool handle, the config
+//! caches, the worker-name counter) resets between explored schedules
+//! without unsafe: storage holds `(epoch, value)` and a stale epoch
+//! reads as "never initialized".
+//!
+//! The scheduler serializes vthreads (exactly one runs at a time), so
+//! the `std` primitives underneath are uncontended bookkeeping; all
+//! *blocking* is virtual, implemented in the scheduler. Memory
+//! orderings are accepted and ignored: the model is sequentially
+//! consistent. That is deliberate — the checker explores *interleaving*
+//! bugs in the claim/quiesce protocol; the soundness of each relaxed
+//! ordering is argued locally at the `// ORDERING:` comment the
+//! analyzer requires at every use site.
+
+use std::sync::Mutex as StdMutex;
+use std::sync::OnceLock as StdOnceLock;
+
+pub use std::sync::Arc;
+
+use crate::sched;
+
+/// Lazily-assigned model object id (statics need `const` construction,
+/// so ids cannot be handed out eagerly).
+#[derive(Debug)]
+struct ObjId(StdOnceLock<usize>);
+
+impl ObjId {
+    const fn new() -> Self {
+        ObjId(StdOnceLock::new())
+    }
+
+    fn get(&self) -> usize {
+        *self.0.get_or_init(sched::next_object_id)
+    }
+}
+
+/// Model atomics: schedule points around an epoch-stamped cell.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use std::sync::Mutex as StdMutex;
+
+    use super::ObjId;
+    use crate::sched;
+
+    #[derive(Debug)]
+    pub struct AtomicUsize {
+        init: usize,
+        cell: StdMutex<Option<(u64, usize)>>,
+        id: ObjId,
+    }
+
+    impl AtomicUsize {
+        #[must_use]
+        pub const fn new(v: usize) -> Self {
+            AtomicUsize { init: v, cell: StdMutex::new(None), id: ObjId::new() }
+        }
+
+        fn with<R>(&self, f: impl FnOnce(&mut usize) -> R) -> R {
+            let mut cell = self.cell.lock().unwrap_or_else(|e| e.into_inner());
+            let epoch = sched::current_epoch();
+            match cell.as_mut() {
+                Some((e, v)) if *e == epoch => f(v),
+                _ => {
+                    let mut v = self.init;
+                    let r = f(&mut v);
+                    *cell = Some((epoch, v));
+                    r
+                }
+            }
+        }
+
+        pub fn load(&self, _order: Ordering) -> usize {
+            sched::atomic_op(self.id.get(), "load");
+            self.with(|v| *v)
+        }
+
+        pub fn store(&self, val: usize, _order: Ordering) {
+            sched::atomic_op(self.id.get(), "store");
+            self.with(|v| *v = val);
+        }
+
+        pub fn fetch_add(&self, delta: usize, _order: Ordering) -> usize {
+            sched::atomic_op(self.id.get(), "rmw");
+            self.with(|v| {
+                let old = *v;
+                *v = v.wrapping_add(delta);
+                old
+            })
+        }
+    }
+}
+
+/// Guards are never poisoned in the model (a panicking vthread aborts
+/// the schedule), so `lock()`/`wait()` always return `Ok` — this type
+/// exists only to keep `.unwrap()` call sites compiling.
+#[derive(Debug)]
+pub struct NeverPoisoned;
+
+pub type LockResult<T> = Result<T, NeverPoisoned>;
+
+/// Model mutex: virtual blocking through the scheduler; the inner
+/// `std` mutex only carries the data (uncontended by construction —
+/// scheduler ownership is acquired first).
+#[derive(Debug)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+    id: ObjId,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Mutex { inner: StdMutex::new(value), id: ObjId::new() }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        sched::mutex_acquire(self.id.get());
+        let st = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(MutexGuard { st: Some(st), id: self.id.get(), lock: self })
+    }
+}
+
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    st: Option<std::sync::MutexGuard<'a, T>>,
+    id: usize,
+    lock: &'a Mutex<T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.st.as_ref().expect("guard data present until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.st.as_mut().expect("guard data present until drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Data lock first, scheduler ownership second: once the model
+        // release lands another vthread may be scheduled straight into
+        // `lock()`, and must find the std mutex free.
+        self.st = None;
+        sched::mutex_release(self.id);
+    }
+}
+
+/// Model condvar: FIFO wake-up, virtual parking (see
+/// [`sched::cond_notify`] for why FIFO is sound).
+#[derive(Debug)]
+pub struct Condvar {
+    id: ObjId,
+}
+
+impl Condvar {
+    #[must_use]
+    pub fn new() -> Self {
+        Condvar { id: ObjId::new() }
+    }
+
+    /// Releases the guard's mutex, parks until notified, re-acquires.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        let mutex_id = guard.id;
+        // Hand the data lock back before virtually parking; the model
+        // release inside `cond_wait` is what wakes mutex waiters.
+        guard.st = None;
+        let cv = self.id.get();
+        std::mem::forget(guard); // release already done by hand above
+        sched::cond_wait(cv, mutex_id);
+        let st = lock.inner.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(MutexGuard { st: Some(st), id: mutex_id, lock })
+    }
+
+    pub fn notify_one(&self) {
+        sched::cond_notify(self.id.get(), false);
+    }
+
+    pub fn notify_all(&self) {
+        sched::cond_notify(self.id.get(), true);
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Thread-spawn failure; surfaced when the scenario's `fail_spawns`
+/// knob is on (zero-worker schedules).
+#[derive(Debug)]
+pub struct SpawnFailed;
+
+/// Spawns a virtual thread on the model scheduler.
+pub fn spawn_named(name: String, f: impl FnOnce() + Send + 'static) -> Result<(), SpawnFailed> {
+    sched::spawn(name, f).map_err(|sched::SpawnDenied| SpawnFailed)
+}
+
+/// Pinned so explored schedules never depend on the host CPU count.
+pub fn available_parallelism_raw() -> usize {
+    4
+}
+
+/// Fault-injection query: true only for the one site the active mutant
+/// run switched on (always false for pristine exploration).
+pub fn fault(site: &str) -> bool {
+    sched::fault_active(site)
+}
+
+/// Epoch-stamped once-cache with the facade's owned-value API: stale
+/// epochs read as uninitialized, which is exactly why `get` /
+/// `get_or_init` clone instead of handing out `'static` borrows.
+#[derive(Debug)]
+pub struct OnceLock<T> {
+    cell: StdMutex<Option<(u64, T)>>,
+    id: ObjId,
+}
+
+impl<T: Clone> OnceLock<T> {
+    #[must_use]
+    pub const fn new() -> Self {
+        OnceLock { cell: StdMutex::new(None), id: ObjId::new() }
+    }
+
+    pub fn get(&self) -> Option<T> {
+        sched::once_op(self.id.get(), false);
+        let cell = self.cell.lock().unwrap_or_else(|e| e.into_inner());
+        match cell.as_ref() {
+            Some((e, v)) if *e == sched::current_epoch() => Some(v.clone()),
+            _ => None,
+        }
+    }
+
+    /// The cached value, initializing it with `f` on first call this
+    /// epoch. `f` runs under the cell lock and must not perform model
+    /// sync ops (the `par.rs` initializers construct objects and read
+    /// the environment, which is fine).
+    pub fn get_or_init(&self, f: impl FnOnce() -> T) -> T {
+        sched::once_op(self.id.get(), true);
+        let mut cell = self.cell.lock().unwrap_or_else(|e| e.into_inner());
+        let epoch = sched::current_epoch();
+        match cell.as_ref() {
+            Some((e, v)) if *e == epoch => v.clone(),
+            _ => {
+                let v = f();
+                *cell = Some((epoch, v.clone()));
+                v
+            }
+        }
+    }
+}
+
+impl<T: Clone> Default for OnceLock<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}

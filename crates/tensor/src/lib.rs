@@ -27,6 +27,7 @@ pub mod par;
 pub mod rng;
 pub mod sparse;
 pub mod stats;
+pub mod sync;
 
 pub use arena::Arena;
 pub use dense::Matrix;

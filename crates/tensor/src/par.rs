@@ -53,6 +53,15 @@
 // pointer is dereferenced only after a successful claim, and the
 // dispatching caller blocks until every chunk has quiesced, so the
 // borrows it holds strictly outlive all worker accesses.
+//
+// Because the protocol is hand-rolled, it is *model checked*: every
+// synchronization operation below goes through `crate::sync` (never
+// `std::sync`/`std::thread` directly — the `sync-facade` analyzer rule
+// enforces this), and `crates/check` compiles this same source file
+// against a virtual-thread scheduler that explores interleavings of
+// those operations. The `sync::fault("...")` sites are mutation hooks
+// for the checker's mutant corpus; in this crate they are `const false`
+// and fold away.
 #![allow(unsafe_code)]
 
 use std::any::Any;
@@ -60,8 +69,9 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{available_parallelism_raw, spawn_named, Arc, Condvar, Mutex, OnceLock};
 
 // ----- thread-count config --------------------------------------------
 
@@ -91,6 +101,9 @@ static HW_THREADS: OnceLock<usize> = OnceLock::new();
 /// workers are retired and joined immediately; growth happens eagerly
 /// too, so the next dispatch finds the pool ready.
 pub fn set_threads(n: Option<usize>) {
+    // ORDERING: Relaxed — the override is a standalone flag; no other
+    // memory is published through it, and `resize_pool` below reads the
+    // new value through `num_threads` on this same thread.
     OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
     resize_pool(num_threads().saturating_sub(1));
 }
@@ -103,11 +116,13 @@ pub fn set_threads(n: Option<usize>) {
 /// the cross-thread test suites exercise the full pool machinery on
 /// any machine.
 fn explicit_override() -> bool {
+    // ORDERING: Relaxed — standalone flag, no dependent data (see the
+    // store in `set_threads`).
     OVERRIDE.load(Ordering::Relaxed) > 0
 }
 
 fn env_threads() -> Option<usize> {
-    *ENV_THREADS.get_or_init(|| {
+    ENV_THREADS.get_or_init(|| {
         std::env::var(ENV_VAR).ok().and_then(|s| s.trim().parse::<usize>().ok()).filter(|&n| n > 0)
     })
 }
@@ -119,6 +134,8 @@ fn env_threads() -> Option<usize> {
 /// process, see [`ENV_VAR`]), then
 /// [`std::thread::available_parallelism`]. Always at least 1.
 pub fn num_threads() -> usize {
+    // ORDERING: Relaxed — standalone flag, no dependent data (see the
+    // store in `set_threads`).
     let o = OVERRIDE.load(Ordering::Relaxed);
     if o > 0 {
         return o;
@@ -128,8 +145,7 @@ pub fn num_threads() -> usize {
 
 /// The machine's available parallelism (1 if it cannot be determined).
 pub fn hardware_threads() -> usize {
-    *HW_THREADS
-        .get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    HW_THREADS.get_or_init(available_parallelism_raw)
 }
 
 /// How many threads a dispatch requesting `threads` will actually run
@@ -350,14 +366,24 @@ impl Job {
     fn work(&self) {
         match &self.queue {
             ChunkQueue::Claim(next) => loop {
-                let i = next.fetch_add(1, Ordering::AcqRel);
+                // ORDERING: Relaxed — the counter only partitions chunk
+                // indices (fetch_add atomicity alone guarantees each
+                // index is claimed once); it publishes no data. Chunk
+                // *outputs* reach the caller through the `done` mutex
+                // (unlock in `run_chunk` happens-before the caller's
+                // lock in `wait`), and the Job itself reached this
+                // thread through the pool's state mutex.
+                let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= self.total {
                     return;
                 }
                 self.run_chunk(i);
             },
             ChunkQueue::Steal { slots, next_slot } => {
-                let me = next_slot.fetch_add(1, Ordering::AcqRel) % slots.len();
+                // ORDERING: Relaxed — slot assignment only; the deque
+                // contents are guarded by their own mutexes, and wrapping
+                // modulo `slots.len()` makes any assignment safe.
+                let me = next_slot.fetch_add(1, Ordering::Relaxed) % slots.len();
                 loop {
                     // Own deque first, front to back.
                     let own = slots[me].lock().unwrap().pop_front();
@@ -372,6 +398,13 @@ impl Job {
                         let victim = (me + v) % slots.len();
                         let theft = slots[victim].lock().unwrap().pop_back();
                         if let Some(i) = theft {
+                            if crate::sync::fault("double-pop-steal") {
+                                // Seeded bug: hand the stolen chunk back
+                                // to the victim as well, so it executes
+                                // twice (mutant corpus only; `fault` is
+                                // const false in normal builds).
+                                slots[victim].lock().unwrap().push_back(i);
+                            }
                             self.run_chunk(i);
                             stole = true;
                             break;
@@ -407,7 +440,7 @@ impl Job {
         }
         let mut done = self.done.lock().unwrap();
         *done += 1;
-        if *done == self.total {
+        if *done == self.total && !crate::sync::fault("drop-done-notify") {
             self.cv.notify_all();
         }
     }
@@ -455,7 +488,7 @@ thread_local! {
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
-fn pool() -> &'static Arc<PoolShared> {
+fn pool() -> Arc<PoolShared> {
     POOL.get_or_init(|| {
         Arc::new(PoolShared {
             state: Mutex::new(PoolState { queue: VecDeque::new(), live: 0, retiring: 0 }),
@@ -479,8 +512,15 @@ fn worker_loop(shared: Arc<PoolShared>) {
                 // under a steady stream of dispatches (callers drain
                 // their own jobs regardless).
                 if st.retiring > 0 {
-                    st.retiring -= 1;
-                    st.live -= 1;
+                    if crate::sync::fault("reorder-retire-decrement") {
+                        // Seeded bug: acknowledge the wrong counter —
+                        // `retiring` never drains, so a blocked shrinker
+                        // waits forever (mutant corpus only).
+                        st.live -= 1;
+                    } else {
+                        st.retiring -= 1;
+                        st.live -= 1;
+                    }
                     shared.resize_cv.notify_all();
                     return;
                 }
@@ -510,13 +550,11 @@ fn grow_locked(shared: &Arc<PoolShared>, st: &mut PoolState, want: usize) {
     }
     while st.live - st.retiring < want {
         let sh = Arc::clone(shared);
+        // ORDERING: Relaxed — monotonic name counter, purely cosmetic.
         let id = WORKER_SEQ.fetch_add(1, Ordering::Relaxed);
-        match std::thread::Builder::new()
-            .name(format!("gnmr-par-{id}"))
-            .spawn(move || worker_loop(sh))
-        {
-            Ok(_) => st.live += 1, // detached; exits via a retire token
-            Err(_) => break,       // degrade gracefully; callers self-drain
+        match spawn_named(format!("gnmr-par-{id}"), move || worker_loop(sh)) {
+            Ok(()) => st.live += 1, // detached; exits via a retire token
+            Err(_) => break,        // degrade gracefully; callers self-drain
         }
     }
 }
@@ -537,7 +575,7 @@ fn resize_pool(workers: usize) {
     let mut st = shared.state.lock().unwrap();
     let effective = st.live - st.retiring;
     if effective < workers {
-        grow_locked(shared, &mut st, workers);
+        grow_locked(&shared, &mut st, workers);
         return;
     }
     st.retiring += effective - workers;
@@ -621,7 +659,7 @@ fn run_chunks<F: Fn(usize) + Sync>(chunks: usize, participants: usize, schedule:
         // notifications below: a dispatch only spawns workers it will
         // also notify, so an oversubscribed implicit thread count
         // never accumulates permanently parked threads.
-        grow_locked(shared, &mut st, (participants - 1).min(hw_cap - 1));
+        grow_locked(&shared, &mut st, (participants - 1).min(hw_cap - 1));
         // Bounded three ways. (1) By the workers actually alive: with
         // zero live workers (a pool shrunk to one thread, or thread
         // spawning failing) nothing is queued at all — the
@@ -650,7 +688,9 @@ fn run_chunks<F: Fn(usize) + Sync>(chunks: usize, participants: usize, schedule:
     for _ in 0..notifications {
         shared.cv.notify_one();
     }
-    job.work(); // participate; drains every chunk no worker claimed
+    if !crate::sync::fault("skip-caller-drain") {
+        job.work(); // participate; drains every chunk no worker claimed
+    }
     job.wait();
     let payload = job.panic.lock().unwrap().take();
     if let Some(payload) = payload {
@@ -902,7 +942,10 @@ fn span_chunk_dispatch<T, F>(
     });
 }
 
-#[cfg(test)]
+// Unit tests run in `gnmr-tensor` only: `gnmr-check` includes this file
+// under `cfg(gnmr_model)` and drives the pool through its own scenario
+// suite instead (these tests assume real, free-running threads).
+#[cfg(all(test, not(gnmr_model)))]
 mod tests {
     use super::*;
 
@@ -963,7 +1006,7 @@ mod tests {
     fn for_each_row_chunk_zero_width_rows() {
         // cols == 0: every chunk is empty but every row range is visited.
         let mut data: Vec<f32> = Vec::new();
-        let seen = std::sync::Mutex::new(vec![false; 5]);
+        let seen = crate::sync::Mutex::new(vec![false; 5]);
         for_each_row_chunk(&mut data, 5, 2, |range, _chunk| {
             let mut seen = seen.lock().unwrap();
             for r in range {
