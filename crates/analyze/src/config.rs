@@ -110,6 +110,7 @@ impl Config {
                 "crates/core/".to_string(),
                 "crates/baselines/".to_string(),
                 "crates/eval/".to_string(),
+                "crates/serve/".to_string(),
             ],
             hot_manifest: Vec::new(),
             kernels_file: Some("crates/tensor/src/kernels.rs".to_string()),

@@ -216,35 +216,44 @@ impl Gnmr {
         )
     }
 
-    /// Multi-order matching score of a single pair.
+    /// The cached multi-order representations `(users, items)`, if
+    /// [`Gnmr::refresh_representations`] (or `fit`) has run. This is the
+    /// frozen-model export surface: `gnmr-serve` snapshots these
+    /// matrices alongside the parameters so inference reproduces
+    /// training-side scores bitwise.
+    pub fn representations(&self) -> Option<(&Matrix, &Matrix)> {
+        Some((self.user_repr.as_ref()?, self.item_repr.as_ref()?))
+    }
+
+    /// Multi-order matching score of a single pair, computed by the
+    /// canonical fixed-lane dot ([`kernels::dot`]) — the same reduction
+    /// order as the full-catalog `row_dots` sweep, so this agrees
+    /// bitwise with the scores [`Gnmr::recommend`] ranks by. (It
+    /// previously used a sequential iterator sum, which made
+    /// `Recommender::score` disagree with `recommend` in the last ulps.)
     pub fn score_pair(&self, user: u32, item: u32) -> f32 {
         let (u, v) = self.reprs();
-        u.row(user as usize)
-            .iter()
-            .zip(v.row(item as usize))
-            .map(|(a, b)| a * b)
-            .sum()
+        kernels::dot(u.row(user as usize), v.row(item as usize))
     }
 
     /// Top-`k` recommendations for a user, excluding `exclude` (typically
-    /// the user's training interactions). Returns `(item, score)` sorted
-    /// by descending score.
+    /// the user's training interactions). Returns `(item, score)` in the
+    /// deterministic serving order: score descending, item ascending on
+    /// score ties (`total_cmp` — NaN-safe).
     ///
-    /// Scores the full catalog through the shared kernel layer, so the
-    /// item sweep is partitioned across the worker pool for large
-    /// catalogs.
+    /// Scores the full catalog through the shared kernel layer (the item
+    /// sweep is partitioned across the worker pool for large catalogs),
+    /// then ranks via bounded partial selection
+    /// ([`kernels::top_k_select_excluding`]) with a sorted-exclude merge
+    /// walk — O(n + e + k log k), replacing the old O(n·e) `contains`
+    /// scan + full-catalog sort.
     pub fn recommend(&self, user: u32, k: usize, exclude: &[u32]) -> Vec<(u32, f32)> {
         let (urepr, vrepr) = self.reprs();
         let scores = kernels::row_dots(vrepr, urepr.row(user as usize));
-        let mut scored: Vec<(u32, f32)> = scores
-            .into_iter()
-            .enumerate()
-            .map(|(i, s)| (i as u32, s))
-            .filter(|(i, _)| !exclude.contains(i))
-            .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-        scored.truncate(k);
-        scored
+        let mut excl = exclude.to_vec();
+        excl.sort_unstable();
+        let mut scratch = kernels::TopKScratch::new();
+        kernels::top_k_select_excluding(&scores, k, &excl, &mut scratch).to_vec()
     }
 }
 
@@ -360,6 +369,58 @@ mod tests {
         }
         for w in recs.windows(2) {
             assert!(w[0].1 >= w[1].1, "not sorted");
+        }
+    }
+
+    #[test]
+    fn score_pair_matches_recommend_bitwise() {
+        // `score_pair` routes through the canonical fixed-lane dot, so
+        // the single-pair path, the full-catalog `row_dots` sweep, and
+        // the scores `recommend` returns are byte-identical — the
+        // contract `gnmr-serve` snapshots rely on.
+        let (mut model, _) = small_model(GnmrVariant::full(), 1);
+        model.refresh_representations();
+        let (urepr, vrepr) = model.representations().expect("refreshed");
+        let catalog = kernels::row_dots(vrepr, urepr.row(2));
+        for item in 0..vrepr.rows() as u32 {
+            assert_eq!(
+                model.score_pair(2, item).to_bits(),
+                catalog[item as usize].to_bits(),
+                "item {item}: score_pair != row_dots"
+            );
+        }
+        for (item, score) in model.recommend(2, 5, &[]) {
+            assert_eq!(
+                score.to_bits(),
+                model.score_pair(2, item).to_bits(),
+                "item {item}: recommend score != score_pair"
+            );
+        }
+    }
+
+    #[test]
+    fn recommend_matches_full_sort_reference() {
+        // Reference: filter-then-full-sort with the same
+        // (score desc, item asc) total order — the historical behavior
+        // the partial selection must reproduce exactly.
+        let (mut model, _) = small_model(GnmrVariant::full(), 1);
+        model.refresh_representations();
+        let (urepr, vrepr) = model.representations().expect("refreshed");
+        let exclude = [9u32, 3, 1]; // deliberately unsorted at the API
+        for user in [0u32, 2] {
+            let scores = kernels::row_dots(vrepr, urepr.row(user as usize));
+            let mut reference: Vec<(u32, f32)> = scores
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (i as u32, s))
+                .filter(|(i, _)| !exclude.contains(i))
+                .collect();
+            reference.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            for k in [0, 1, 4, reference.len(), reference.len() + 5] {
+                let mut expect = reference.clone();
+                expect.truncate(k);
+                assert_eq!(model.recommend(user, k, &exclude), expect, "user {user} k {k}");
+            }
         }
     }
 

@@ -10,6 +10,7 @@
 //! * [`data`] — seeded synthetic datasets (MovieLens/Yelp/Taobao-like);
 //! * [`eval`] — HR@N / NDCG@N and the 99-negative protocol;
 //! * [`core`] — the GNMR model itself;
+//! * [`serve`] — frozen-model snapshots and batched top-k serving;
 //! * [`baselines`] — the twelve Table II baselines.
 //!
 //! # Quickstart
@@ -30,6 +31,7 @@ pub use gnmr_core as core;
 pub use gnmr_data as data;
 pub use gnmr_eval as eval;
 pub use gnmr_graph as graph;
+pub use gnmr_serve as serve;
 pub use gnmr_tensor as tensor;
 
 /// The most common imports for working with the reproduction.
@@ -44,6 +46,7 @@ pub mod prelude {
         evaluate, evaluate_auto, evaluate_parallel, EvalReport, PopularityRecommender,
         RandomRecommender, Recommender, Table,
     };
+    pub use gnmr_serve::{ExcludeLists, ModelSnapshot, ServeIndex};
     pub use gnmr_tensor::par;
     pub use gnmr_graph::{
         BatchSampler, GraphStats, Interaction, InteractionLog, MultiBehaviorGraph, NeighborNorm,

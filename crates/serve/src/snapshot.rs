@@ -1,0 +1,278 @@
+//! Versioned binary model snapshots.
+//!
+//! A snapshot freezes everything inference needs: the full [`ParamStore`]
+//! (so a model can be rehydrated for fine-tuning or audit) plus the fused
+//! multi-order user/item representation matrices (so serving never has to
+//! re-run the propagation forward pass). No serde exists in this
+//! workspace, so the layout is hand-rolled little-endian:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"GNMRSNAP"
+//! 8       4     format version (u32 LE, currently 1)
+//! 12      4     n_params (u32 LE)
+//! 16      16    user_repr rows, cols; item_repr rows, cols (4 × u32 LE)
+//! 32      …     param table: per param, name_len (u32 LE), name bytes
+//!               (UTF-8, strictly ascending across entries), rows, cols
+//! …       …     payload: every matrix as raw f32 bit patterns (LE),
+//!               params in table order, then user_repr, then item_repr
+//! end-8   8     FNV-1a 64 checksum (u64 LE) over every preceding byte
+//! ```
+//!
+//! Floats travel as bit patterns ([`f32::to_bits`]/[`f32::from_bits`]),
+//! so a round trip is bitwise-exact — including negative zero and NaN
+//! payloads — which is what lets the serve path promise byte-identical
+//! recommendation lists to the training-side model. [`ModelSnapshot::from_bytes`]
+//! rejects corrupt or foreign input up front: bad magic, unsupported
+//! version, checksum mismatch, truncation, trailing bytes, non-UTF-8 or
+//! out-of-order names, and representation-width mismatches all fail with
+//! [`std::io::ErrorKind::InvalidData`] before any value is trusted.
+
+use std::io;
+use std::path::Path;
+
+use gnmr_autograd::ParamStore;
+use gnmr_core::Gnmr;
+use gnmr_tensor::Matrix;
+
+/// First 8 snapshot bytes; anything else is not a snapshot.
+pub const MAGIC: [u8; 8] = *b"GNMRSNAP";
+
+/// Current snapshot format version. Bump on any layout change; load
+/// refuses other versions rather than guessing.
+pub const VERSION: u32 = 1;
+
+/// FNV-1a 64-bit: dependency-free, byte-order-independent, and strong
+/// enough to catch the single-byte flips and truncations the loader
+/// guards against (this is an integrity check, not an authenticity one).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Bounds-checked little-endian reader over the snapshot body.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> io::Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or_else(|| bad("snapshot: length overflow"))?;
+        if end > self.bytes.len() {
+            return Err(bad(format!(
+                "snapshot: truncated while reading {what} ({} bytes left, {n} needed)",
+                self.bytes.len() - self.pos
+            )));
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self, what: &str) -> io::Result<u32> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// `rows × cols` f32 bit patterns into a [`Matrix`].
+    fn matrix(&mut self, rows: u32, cols: u32, what: &str) -> io::Result<Matrix> {
+        let n = (rows as usize)
+            .checked_mul(cols as usize)
+            .ok_or_else(|| bad(format!("snapshot: {what} shape overflows")))?;
+        let raw = self.take(n.checked_mul(4).ok_or_else(|| bad("snapshot: payload overflow"))?, what)?;
+        let mut data = Vec::with_capacity(n);
+        for c in raw.chunks_exact(4) {
+            data.push(f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]])));
+        }
+        Ok(Matrix::from_vec(rows as usize, cols as usize, data))
+    }
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_matrix(out: &mut Vec<u8>, m: &Matrix) {
+    for &v in m.data() {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// A frozen model: parameters plus the fused representation matrices.
+pub struct ModelSnapshot {
+    /// `(name, value)` in strictly ascending name order — the
+    /// [`ParamStore`] iteration order, preserved so serialization is
+    /// canonical (same model ⇒ same bytes).
+    params: Vec<(String, Matrix)>,
+    user_repr: Matrix,
+    item_repr: Matrix,
+}
+
+impl ModelSnapshot {
+    /// Builds a snapshot from explicit parts. `params` must be strictly
+    /// ascending by name; the representation widths must agree (one row
+    /// dot realizes the multi-order matching sum).
+    pub fn new(params: Vec<(String, Matrix)>, user_repr: Matrix, item_repr: Matrix) -> Self {
+        assert!(
+            params.windows(2).all(|w| w[0].0 < w[1].0),
+            "ModelSnapshot: params must be strictly ascending by name"
+        );
+        assert_eq!(
+            user_repr.cols(),
+            item_repr.cols(),
+            "ModelSnapshot: representation width mismatch ({} vs {})",
+            user_repr.cols(),
+            item_repr.cols()
+        );
+        ModelSnapshot { params, user_repr, item_repr }
+    }
+
+    /// Freezes a trained [`Gnmr`]. Panics if the model has no cached
+    /// representations yet (call `fit` or `refresh_representations`
+    /// first) — a snapshot without a scoring surface serves nothing.
+    pub fn from_model(model: &Gnmr) -> Self {
+        let (u, v) = model
+            .representations()
+            .expect("ModelSnapshot::from_model: model is not ready; fit() or refresh_representations() first");
+        let params = model.params().iter().map(|(n, m)| (n.to_string(), m.clone())).collect();
+        Self::new(params, u.clone(), v.clone())
+    }
+
+    /// The frozen user representations (one row per user).
+    pub fn user_repr(&self) -> &Matrix {
+        &self.user_repr
+    }
+
+    /// The frozen item representations (one row per item).
+    pub fn item_repr(&self) -> &Matrix {
+        &self.item_repr
+    }
+
+    /// The frozen parameters, ascending by name.
+    pub fn params(&self) -> &[(String, Matrix)] {
+        &self.params
+    }
+
+    /// Rehydrates the parameters into a fresh [`ParamStore`].
+    pub fn param_store(&self) -> ParamStore {
+        let mut store = ParamStore::new();
+        for (name, m) in &self.params {
+            store.insert(name.clone(), m.clone());
+        }
+        store
+    }
+
+    /// Serializes to the versioned binary layout (see module docs).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload: usize = self
+            .params
+            .iter()
+            .map(|(n, m)| 12 + n.len() + 4 * m.data().len())
+            .sum::<usize>()
+            + 4 * (self.user_repr.data().len() + self.item_repr.data().len());
+        let mut out = Vec::with_capacity(32 + payload + 8);
+        out.extend_from_slice(&MAGIC);
+        push_u32(&mut out, VERSION);
+        push_u32(&mut out, self.params.len() as u32);
+        push_u32(&mut out, self.user_repr.rows() as u32);
+        push_u32(&mut out, self.user_repr.cols() as u32);
+        push_u32(&mut out, self.item_repr.rows() as u32);
+        push_u32(&mut out, self.item_repr.cols() as u32);
+        for (name, m) in &self.params {
+            push_u32(&mut out, name.len() as u32);
+            out.extend_from_slice(name.as_bytes());
+            push_u32(&mut out, m.rows() as u32);
+            push_u32(&mut out, m.cols() as u32);
+        }
+        for (_, m) in &self.params {
+            push_matrix(&mut out, m);
+        }
+        push_matrix(&mut out, &self.user_repr);
+        push_matrix(&mut out, &self.item_repr);
+        let sum = fnv1a64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Parses and validates a snapshot. Every rejection path —
+    /// truncation, bad magic, unsupported version, checksum mismatch,
+    /// malformed table, trailing bytes — returns
+    /// [`io::ErrorKind::InvalidData`] with a message naming the defect.
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<Self> {
+        if bytes.len() < MAGIC.len() + 4 + 8 {
+            return Err(bad(format!("snapshot: {} bytes is too short to be a snapshot", bytes.len())));
+        }
+        // Integrity first: nothing after this point trusts a byte the
+        // checksum has not covered.
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+        let computed = fnv1a64(body);
+        if stored != computed {
+            return Err(bad(format!(
+                "snapshot: checksum mismatch (stored {stored:#018x}, computed {computed:#018x}) — corrupt or truncated"
+            )));
+        }
+        let mut r = Reader { bytes: body, pos: 0 };
+        let magic = r.take(MAGIC.len(), "magic")?;
+        if magic != MAGIC {
+            return Err(bad("snapshot: bad magic (not a GNMR snapshot)"));
+        }
+        let version = r.u32("version")?;
+        if version != VERSION {
+            return Err(bad(format!("snapshot: unsupported format version {version} (expected {VERSION})")));
+        }
+        let n_params = r.u32("param count")? as usize;
+        let u_rows = r.u32("user_repr rows")?;
+        let u_cols = r.u32("user_repr cols")?;
+        let v_rows = r.u32("item_repr rows")?;
+        let v_cols = r.u32("item_repr cols")?;
+        if u_cols != v_cols {
+            return Err(bad(format!("snapshot: representation width mismatch ({u_cols} vs {v_cols})")));
+        }
+        let mut table = Vec::with_capacity(n_params);
+        for i in 0..n_params {
+            let name_len = r.u32("param name length")? as usize;
+            let name = std::str::from_utf8(r.take(name_len, "param name")?)
+                .map_err(|_| bad(format!("snapshot: param {i} name is not UTF-8")))?
+                .to_string();
+            if let Some((prev, _, _)) = table.last() {
+                if *prev >= name {
+                    return Err(bad(format!("snapshot: param table not strictly ascending at {name:?}")));
+                }
+            }
+            let rows = r.u32("param rows")?;
+            let cols = r.u32("param cols")?;
+            table.push((name, rows, cols));
+        }
+        let mut params = Vec::with_capacity(n_params);
+        for (name, rows, cols) in table {
+            let m = r.matrix(rows, cols, &format!("param {name:?} payload"))?;
+            params.push((name, m));
+        }
+        let user_repr = r.matrix(u_rows, u_cols, "user_repr payload")?;
+        let item_repr = r.matrix(v_rows, v_cols, "item_repr payload")?;
+        if r.pos != body.len() {
+            return Err(bad(format!("snapshot: {} trailing bytes after payload", body.len() - r.pos)));
+        }
+        Ok(ModelSnapshot { params, user_repr, item_repr })
+    }
+
+    /// Writes the snapshot to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads and validates a snapshot from `path`.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+}

@@ -1714,6 +1714,280 @@ pub fn row_dots(mat: &Matrix, vec: &[f32]) -> Vec<f32> {
     row_dots_with(mat, vec, auto_threads(mat.len()))
 }
 
+/// Canonical fixed-lane dot product of two equal-length slices — the
+/// single-pair scoring primitive. Exposed so every scoring surface
+/// (`Gnmr::score_pair`, the full-catalog [`row_dots`] family, the
+/// serve-crate batch path) reduces in the exact same lane order and
+/// therefore agrees bitwise on every (user, item) pair.
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch {} vs {}", x.len(), y.len());
+    dot_lanes(x, y)
+}
+
+/// Serial [`row_dots`] into a caller-provided buffer:
+/// `dst[r] = <mat.row(r), vec>` in the canonical lane order. The
+/// batched serving path calls this once per user *inside* pool workers
+/// (each worker scores into its own thread-local catalog buffer), so it
+/// is deliberately serial — nested dispatch would run inline anyway —
+/// and allocation-free.
+pub fn row_dots_into(dst: &mut [f32], mat: &Matrix, vec: &[f32]) {
+    assert_eq!(mat.cols(), vec.len(), "row_dots_into: vector length {} != {} cols", vec.len(), mat.cols());
+    assert_eq!(dst.len(), mat.rows(), "row_dots_into: dst length {} != {} rows", dst.len(), mat.rows());
+    let d = mat.cols();
+    let md = mat.data();
+    for (r, o) in dst.iter_mut().enumerate() {
+        *o = dot_lanes(&md[r * d..(r + 1) * d], vec);
+    }
+}
+
+// ----- top-k partial selection ----------------------------------------
+//
+// The serving path's ranking primitive: the `k` best-scoring indices in
+// the deterministic total order (score descending, index ascending on
+// ties), WITHOUT sorting the full catalog. Two algorithms behind one
+// entry point, both producing exactly the sequence a full
+// `(score desc, index asc)` sort would — the order is total (ties are
+// broken by the unique index), so the top-k sequence is unique and
+// "same algorithm ⇒ same bytes" holds trivially across paths:
+//
+// * a bounded worst-at-root binary heap for small `k`: one comparison
+//   against the current cutoff per candidate (O(n) total, almost all
+//   failing fast) plus O(log k) maintenance per admitted candidate;
+// * deterministic quickselect (median-of-three pivots, no entropy,
+//   introsort-style depth bound collapsing to `sort_unstable_by`) once
+//   `k` is a sizable fraction of the candidates, where per-candidate
+//   heap maintenance would thrash.
+//
+// Scores are compared with `f32::total_cmp`, so NaNs are *ordered*
+// (positive NaN above +inf) instead of poisoning the comparison the way
+// the historical `partial_cmp().unwrap_or(Equal)` full sort did.
+
+/// `k`-to-candidate ratio at which selection switches from the bounded
+/// heap to quickselect: heap while `k * QUICKSELECT_RATIO < n`. At that
+/// point roughly 1/8 of candidates displace the heap root, so expected
+/// maintenance (`n/8 · log k`) starts rivaling quickselect's copy +
+/// partition passes.
+const QUICKSELECT_RATIO: usize = 8;
+
+/// Reusable scratch for the top-k selection kernels. Mint one per
+/// scoring thread (the serve crate keeps one in thread-local storage,
+/// like [`with_pack_buf`]) and steady-state selection performs zero
+/// heap allocations: the buffer grows to `max(k, candidates)` entries
+/// once and is reused thereafter.
+pub struct TopKScratch {
+    buf: Vec<(u32, f32)>,
+}
+
+impl TopKScratch {
+    /// An empty scratch; the first selection call sizes it. `const` so
+    /// thread-local scratch slots can be statically initialized.
+    pub const fn new() -> Self {
+        TopKScratch { buf: Vec::new() }
+    }
+}
+
+impl Default for TopKScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Whether candidate `a` ranks strictly before `b` in the deterministic
+/// serving order: score descending, index ascending on score ties
+/// (`total_cmp`, so NaN scores are ordered rather than incomparable).
+#[inline(always)]
+fn sel_before(a: (u32, f32), b: (u32, f32)) -> bool {
+    match b.1.total_cmp(&a.1) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => a.0 < b.0,
+    }
+}
+
+/// [`sel_before`] as a comparator for the final in-order sort.
+#[inline(always)]
+fn sel_cmp(a: &(u32, f32), b: &(u32, f32)) -> std::cmp::Ordering {
+    b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0))
+}
+
+/// Restores the worst-at-root invariant below slot `i`: every child
+/// ranks strictly before ([`sel_before`]) its parent, so the root is
+/// the worst-ranked element kept — the admission cutoff.
+#[inline]
+fn sift_down_worst(heap: &mut [(u32, f32)], mut i: usize) {
+    loop {
+        let l = 2 * i + 1;
+        if l >= heap.len() {
+            return;
+        }
+        let r = l + 1;
+        // The worse-ranked child is the swap candidate.
+        let c = if r < heap.len() && sel_before(heap[l], heap[r]) { r } else { l };
+        if sel_before(heap[i], heap[c]) {
+            heap.swap(i, c);
+            i = c;
+        } else {
+            return;
+        }
+    }
+}
+
+/// Floyd heap construction over the first `k` candidates.
+fn build_worst_heap(heap: &mut [(u32, f32)]) {
+    for i in (0..heap.len() / 2).rev() {
+        sift_down_worst(heap, i);
+    }
+}
+
+/// Deterministic median-of-three pivot index for [`quickselect_topk`].
+#[inline]
+fn median_of_three(v: &[(u32, f32)], lo: usize, hi: usize) -> usize {
+    let mid = lo + (hi - lo) / 2;
+    let (a, b, c) = (v[lo], v[mid], v[hi - 1]);
+    if sel_before(a, b) {
+        if sel_before(b, c) {
+            mid
+        } else if sel_before(a, c) {
+            hi - 1
+        } else {
+            lo
+        }
+    } else if sel_before(a, c) {
+        lo
+    } else if sel_before(b, c) {
+        hi - 1
+    } else {
+        mid
+    }
+}
+
+/// Partitions `v` so its first `k` slots hold the `k` best-ranked
+/// candidates (in arbitrary order). Median-of-three pivots keep the
+/// choice deterministic without entropy; an introsort-style depth bound
+/// collapses pathological pivot runs to a guaranteed-`O(n log n)`
+/// unstable sort. All keys are distinct under [`sel_before`] (the index
+/// breaks every score tie), so no equal-key partition pathology exists.
+fn quickselect_topk(v: &mut [(u32, f32)], k: usize) {
+    let mut lo = 0usize;
+    let mut hi = v.len();
+    debug_assert!(k < hi);
+    let mut depth = 2 * (usize::BITS - v.len().leading_zeros()) as usize;
+    while hi - lo > 1 {
+        if depth == 0 {
+            v[lo..hi].sort_unstable_by(sel_cmp);
+            return;
+        }
+        depth -= 1;
+        let p = median_of_three(v, lo, hi);
+        v.swap(p, hi - 1);
+        let pivot = v[hi - 1];
+        let mut store = lo;
+        for i in lo..hi - 1 {
+            if sel_before(v[i], pivot) {
+                v.swap(i, store);
+                store += 1;
+            }
+        }
+        v.swap(store, hi - 1);
+        // v[lo..store] rank before the pivot (now at `store`), the rest
+        // after it.
+        if k < store {
+            hi = store;
+        } else if k <= store + 1 {
+            // The first k slots are exactly the k best.
+            return;
+        } else {
+            lo = store + 1;
+        }
+    }
+}
+
+/// Core selection: fills `buf` with the top-`k` non-excluded candidates
+/// in the deterministic `(score desc, index asc)` order. `exclude` must
+/// be ascending (duplicates allowed); candidates are streamed in index
+/// order against a single merge-walk cursor, so exclusion costs
+/// O(n + e) regardless of list sizes.
+fn select_into_buf(scores: &[f32], k: usize, exclude: &[u32], buf: &mut Vec<(u32, f32)>) {
+    buf.clear();
+    if k == 0 || scores.is_empty() {
+        return;
+    }
+    let n = scores.len();
+    let mut p = 0usize;
+    if k.saturating_mul(QUICKSELECT_RATIO) < n {
+        // Bounded heap: admit the first k candidates, then only those
+        // ranking before the current worst (the root).
+        for (i, &s) in scores.iter().enumerate() {
+            let idx = i as u32;
+            while p < exclude.len() && exclude[p] < idx {
+                p += 1;
+            }
+            if p < exclude.len() && exclude[p] == idx {
+                continue;
+            }
+            let cand = (idx, s);
+            if buf.len() < k {
+                buf.push(cand);
+                if buf.len() == k {
+                    build_worst_heap(buf);
+                }
+            } else if sel_before(cand, buf[0]) {
+                buf[0] = cand;
+                sift_down_worst(buf, 0);
+            }
+        }
+    } else {
+        // k is a sizable fraction of the candidates: gather them all
+        // and partial-select in place.
+        for (i, &s) in scores.iter().enumerate() {
+            let idx = i as u32;
+            while p < exclude.len() && exclude[p] < idx {
+                p += 1;
+            }
+            if p < exclude.len() && exclude[p] == idx {
+                continue;
+            }
+            buf.push((idx, s));
+        }
+        if buf.len() > k {
+            quickselect_topk(buf, k);
+            buf.truncate(k);
+        }
+    }
+    buf.sort_unstable_by(sel_cmp);
+}
+
+/// Top-`k` indices and scores of `scores`, in the deterministic
+/// `(score desc, index asc)` order, via bounded partial selection —
+/// O(n + k log k) instead of the full-catalog argsort. Returns fewer
+/// than `k` entries when the catalog is smaller; the result is exactly
+/// the prefix a full `(score desc, index asc)` sort would produce.
+pub fn top_k_select<'s>(scores: &[f32], k: usize, scratch: &'s mut TopKScratch) -> &'s [(u32, f32)] {
+    top_k_select_excluding(scores, k, &[], scratch)
+}
+
+/// [`top_k_select`] with an ascending exclusion list (seen items,
+/// training interactions). Excluded indices never appear in the result;
+/// ties and order are identical to filtering *before* a full sort.
+pub fn top_k_select_excluding<'s>(
+    scores: &[f32],
+    k: usize,
+    exclude: &[u32],
+    scratch: &'s mut TopKScratch,
+) -> &'s [(u32, f32)] {
+    assert!(
+        scores.len() <= u32::MAX as usize,
+        "top_k_select: catalog of {} rows exceeds u32 index space",
+        scores.len()
+    );
+    assert!(
+        exclude.windows(2).all(|w| w[0] <= w[1]),
+        "top_k_select_excluding: exclusion list must be sorted ascending"
+    );
+    select_into_buf(scores, k, exclude, &mut scratch.buf);
+    &scratch.buf
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

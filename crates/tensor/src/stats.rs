@@ -2,6 +2,7 @@
 //! and ranking helpers.
 
 use crate::dense::Matrix;
+use crate::kernels;
 
 /// Numerically stable sigmoid.
 #[inline]
@@ -71,18 +72,26 @@ pub fn softmax_slice(xs: &[f32]) -> Vec<f32> {
     }
 }
 
-/// Indices that would sort `xs` in descending order (stable for ties).
+/// Indices that would sort `xs` in descending order; ties broken by
+/// ascending index. Comparison is `total_cmp`, so NaNs are *ordered*
+/// (positive NaN above +inf) instead of silently scrambling the sort
+/// the way the historical `partial_cmp().unwrap_or(Equal)` comparator
+/// did. For NaN-free input the order is identical to the old stable
+/// sort (which also left ties in ascending-index order).
 pub fn argsort_desc(xs: &[f32]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[b].partial_cmp(&xs[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_unstable_by(|&a, &b| xs[b].total_cmp(&xs[a]).then_with(|| a.cmp(&b)));
     idx
 }
 
-/// Indices of the `k` largest values, in descending order of value.
+/// Indices of the `k` largest values, in descending order of value
+/// (ties: ascending index). Delegates to the bounded partial selection
+/// in [`kernels::top_k_select`] — O(n + k log k) instead of the
+/// historical full `argsort_desc` + truncate — and returns the exact
+/// prefix that full sort would.
 pub fn top_k(xs: &[f32], k: usize) -> Vec<usize> {
-    let mut idx = argsort_desc(xs);
-    idx.truncate(k);
-    idx
+    let mut scratch = kernels::TopKScratch::new();
+    kernels::top_k_select(xs, k, &mut scratch).iter().map(|&(i, _)| i as usize).collect()
 }
 
 /// The 0-based rank `position` of element `target` when `xs` is sorted
@@ -160,6 +169,29 @@ mod tests {
         let order = argsort_desc(&xs);
         assert_eq!(order[..2], [1, 3]); // stable tie-break
         assert_eq!(order[2], 2);
+        assert_eq!(top_k(&xs, 2), vec![1, 3]);
+    }
+
+    #[test]
+    fn topk_matches_full_argsort_prefix() {
+        // The historical implementation — full sort, then truncate —
+        // kept as the reference the partial selection must match
+        // exactly (same indices, same order) at every k.
+        let xs: Vec<f32> = (0..97).map(|i| ((i * 37 % 19) as f32 * 0.25) - 2.0).collect();
+        let reference = argsort_desc(&xs);
+        for k in [0, 1, 2, 7, 48, 96, 97, 120] {
+            let mut expect = reference.clone();
+            expect.truncate(k);
+            assert_eq!(top_k(&xs, k), expect, "k={k}");
+        }
+    }
+
+    #[test]
+    fn argsort_orders_nan_totally() {
+        // total_cmp: positive NaN sorts above +inf, so it leads the
+        // descending order instead of scrambling the comparator.
+        let xs = [1.0, f32::NAN, 2.0, f32::INFINITY];
+        assert_eq!(argsort_desc(&xs), vec![1, 3, 2, 0]);
         assert_eq!(top_k(&xs, 2), vec![1, 3]);
     }
 

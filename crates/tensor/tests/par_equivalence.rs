@@ -885,6 +885,101 @@ fn transpose_kernels_match_materialized_transpose() {
     assert_eq!(acc.data(), expected.data());
 }
 
+// ----- canonical dot & top-k partial selection ------------------------
+//
+// The serving-path kernels: `dot` and `row_dots_into` must replay the
+// exact lane order (spec: `lane_dot_ref`), and the bounded partial
+// selection (`top_k_select` / `top_k_select_excluding`) must be
+// exact-match — same indices, same order — against a full sort under
+// the deterministic `(score desc, index asc)` total order, on both of
+// its internal algorithms (bounded heap for small k, quickselect once
+// k is a sizable fraction of the candidates).
+
+/// Full-sort reference for the selection kernels: the historical
+/// argsort path — rank every non-excluded candidate, truncate to k.
+/// Deliberately shares no code with the kernels.
+fn top_k_ref(scores: &[f32], k: usize, exclude: &[u32]) -> Vec<(u32, f32)> {
+    let mut all: Vec<(u32, f32)> = scores
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (i as u32, s))
+        .filter(|(i, _)| exclude.binary_search(i).is_err())
+        .collect();
+    all.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+/// Tie-heavy scores plus a sorted exclusion subset: values drawn from a
+/// handful of levels so equal scores (the tie-break path) are the
+/// common case, not the edge case.
+fn selection_inputs() -> impl Strategy<Value = (Vec<f32>, Vec<u32>)> {
+    (0usize..220).prop_flat_map(|n| {
+        let scores = proptest::collection::vec((-3i8..4).prop_map(|v| v as f32 * 0.5), n);
+        let excluded = proptest::collection::vec(0u8..2, n).prop_map(|mask| {
+            mask.iter().enumerate().filter(|(_, &x)| x == 1).map(|(i, _)| i as u32).collect::<Vec<u32>>()
+        });
+        (scores, excluded)
+    })
+}
+
+proptest! {
+    #[test]
+    fn top_k_selection_matches_full_sort((scores, exclude) in selection_inputs()) {
+        let n = scores.len();
+        let mut scratch = kernels::TopKScratch::new();
+        // k sweep covers {0, 1, small (heap path), n/2 and n
+        // (quickselect / copy-all paths), > n}.
+        for k in [0, 1, 3, n / 8, n / 2, n.saturating_sub(1), n, n + 7] {
+            let expected = top_k_ref(&scores, k, &exclude);
+            let got = kernels::top_k_select_excluding(&scores, k, &exclude, &mut scratch);
+            prop_assert_eq!(got, &expected[..], "excluding, k={}", k);
+            let expected_all = top_k_ref(&scores, k, &[]);
+            let got_all = kernels::top_k_select(&scores, k, &mut scratch);
+            prop_assert_eq!(got_all, &expected_all[..], "no exclusion, k={}", k);
+        }
+    }
+
+    #[test]
+    fn dot_and_row_dots_into_replay_lane_order((base, query) in row_dots_inputs()) {
+        for r in 0..base.rows() {
+            let expected = lane_dot_ref(base.row(r), &query);
+            prop_assert_eq!(kernels::dot(base.row(r), &query).to_bits(), expected.to_bits());
+        }
+        // `row_dots_into` fills a dirty caller buffer with exactly the
+        // bytes the allocating `row_dots` returns.
+        let mut dst = vec![f32::NAN; base.rows()];
+        kernels::row_dots_into(&mut dst, &base, &query);
+        let reference = kernels::row_dots(&base, &query);
+        prop_assert_eq!(
+            dst.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn selection_pins_deterministic_tie_break_and_scratch_reuse() {
+    // All-equal scores: the winner set is decided purely by the
+    // (score desc, index asc) tie-break on every path.
+    let flat = vec![1.5f32; 100];
+    let mut scratch = kernels::TopKScratch::new();
+    let heap_path: Vec<u32> = kernels::top_k_select(&flat, 4, &mut scratch).iter().map(|&(i, _)| i).collect();
+    assert_eq!(heap_path, vec![0, 1, 2, 3]);
+    let qsel_path: Vec<u32> = kernels::top_k_select(&flat, 60, &mut scratch).iter().map(|&(i, _)| i).collect();
+    assert_eq!(qsel_path, (0..60).collect::<Vec<u32>>());
+    // One scratch serves differently-sized calls back to back; the
+    // exclusion merge-walk tolerates duplicate entries.
+    let scores = [0.5, 2.0, 2.0, -1.0, 2.0, 0.0];
+    let got = kernels::top_k_select_excluding(&scores, 3, &[1, 1, 4], &mut scratch);
+    assert_eq!(got, &[(2, 2.0), (0, 0.5), (5, 0.0)]);
+    // NaN scores are ordered by total_cmp (positive NaN above +inf),
+    // not silently shuffled like the old partial_cmp comparator.
+    let with_nan = [1.0, f32::NAN, f32::INFINITY, 2.0];
+    let order: Vec<u32> = kernels::top_k_select(&with_nan, 4, &mut scratch).iter().map(|&(i, _)| i).collect();
+    assert_eq!(order, vec![1, 2, 3, 0]);
+}
+
 #[test]
 fn auto_dispatch_is_thread_count_invariant() {
     // 64*64*80 = 327,680 multiply-adds: above PAR_MIN_WORK, so the
