@@ -21,6 +21,7 @@ pub const RULE_IDS: &[&str] = &[
     "kernel-coverage",
     "sync-facade",
     "atomic-ordering-comment",
+    "io-unwrap",
     "pragma-syntax",
 ];
 
@@ -91,6 +92,10 @@ pub struct Config {
     /// Audited concurrency files where every `Ordering::` use site
     /// needs a justifying `// ORDERING:` comment.
     pub ordering_comment_files: Vec<String>,
+    /// Path prefixes of the crash-safety crates, where `.unwrap()` /
+    /// `.expect(..)` on an `io::Result` is banned in non-test code
+    /// (checkpoint/snapshot I/O must propagate typed errors).
+    pub io_unwrap_prefixes: Vec<String>,
 }
 
 impl Config {
@@ -119,6 +124,10 @@ impl Config {
             ordering_comment_files: vec![
                 "crates/tensor/src/par.rs".to_string(),
                 "crates/bench/src/alloc.rs".to_string(),
+            ],
+            io_unwrap_prefixes: vec![
+                "crates/serve/src/".to_string(),
+                "crates/core/src/".to_string(),
             ],
         }
     }

@@ -12,7 +12,9 @@ use std::path::{Path, PathBuf};
 use crate::config::Config;
 use crate::lexer::{lex, Tok};
 use crate::report::{extract_pragmas, Finding, Report, Suppression};
-use crate::rules::{determinism, hot_alloc, kernel_coverage, sync_protocol, unsafe_confinement};
+use crate::rules::{
+    determinism, hot_alloc, io_unwrap, kernel_coverage, sync_protocol, unsafe_confinement,
+};
 
 /// Directory names never descended into.
 const SKIP_DIRS: &[&str] = &["target", "third_party"];
@@ -44,6 +46,9 @@ pub fn analyze_tree(root: &Path, cfg: &Config) -> Result<Report, String> {
         findings.extend(determinism::check_rng(rel, toks));
         if cfg.numeric_prefixes.iter().any(|p| rel.starts_with(p.as_str())) {
             findings.extend(determinism::check_map_iter(rel, toks));
+        }
+        if cfg.io_unwrap_prefixes.iter().any(|p| rel.starts_with(p.as_str())) {
+            findings.extend(io_unwrap::check(rel, toks));
         }
         let entries: Vec<_> =
             cfg.hot_manifest.iter().filter(|e| e.file == *rel).collect();

@@ -1,0 +1,284 @@
+//! Rule family 6: io-unwrap.
+//!
+//! Crash-safety code must *propagate* I/O failures, never panic on them
+//! (ROADMAP standing constraint: all checkpoint/snapshot I/O goes
+//! through the fault-injectable layer, and a torn disk is an error the
+//! caller handles, not a crash). An `.unwrap()`/`.expect(..)` on an
+//! `io::Result` turns every injected fault — and every real ENOSPC —
+//! into an abort that skips the keep-the-previous-generation path.
+//!
+//! Detection is a token heuristic, like the determinism family: the
+//! rule flags `.unwrap()`/`.expect(` whose receiver is a direct call to
+//! a known I/O producer. Two name sets keep false positives out:
+//!
+//! * **method names** (`save`, `load`, `write_all`, `atomic_write`,
+//!   ...) flag as both `.name(...)` method calls and bare calls;
+//! * **path-only names** (`read`, `write`, `open`, `rename`, ...) are
+//!   too generic as methods — `RwLock::read`, `Vec::write` lookalikes —
+//!   so they flag only when called `::name(...)`, the `std::fs` shape.
+//!
+//! `#[cfg(test)]` modules are skipped: tests unwrapping their own
+//! fixtures is idiomatic. The engine applies this rule only under the
+//! configured `io_unwrap_prefixes` (the crash-safety crates' `src/`
+//! trees); false positives retain the pragma escape hatch.
+
+use crate::lexer::{Tok, TokKind};
+use crate::report::Finding;
+
+/// I/O-producing names safe to flag in any call position.
+const METHOD_IO: &[&str] = &[
+    "save",
+    "load",
+    "save_with",
+    "load_with",
+    "write_all",
+    "read_to_end",
+    "read_to_string",
+    "read_exact",
+    "sync_all",
+    "sync_data",
+    "set_len",
+    "flush",
+    "atomic_write",
+    "read_bytes",
+];
+
+/// I/O-producing names flagged only as `::name(...)` path calls.
+const PATH_IO: &[&str] = &[
+    "read",
+    "write",
+    "create",
+    "create_new",
+    "open",
+    "rename",
+    "remove_file",
+    "remove_dir_all",
+    "copy",
+    "metadata",
+    "create_dir",
+    "create_dir_all",
+];
+
+/// `io-unwrap`: flags `.unwrap()`/`.expect(` on the result of a known
+/// I/O call, outside `#[cfg(test)]` modules. The engine applies this
+/// only to files under the configured crash-safety prefixes.
+pub fn check(file: &str, tokens: &[Tok]) -> Vec<Finding> {
+    let toks: Vec<&Tok> = tokens.iter().filter(|t| !t.is_comment()).collect();
+    let in_test = test_mod_mask(&toks);
+    let mut findings = Vec::new();
+
+    for i in 0..toks.len() {
+        if in_test[i]
+            || !toks[i].is_punct('.')
+            || i + 2 >= toks.len()
+            || !(toks[i + 1].is_ident("unwrap") || toks[i + 1].is_ident("expect"))
+            || !toks[i + 2].is_punct('(')
+        {
+            continue;
+        }
+        // The receiver must be a call: `<name>(...)` directly before the
+        // dot. Walk back over the matched parens to the callee name.
+        let Some(open) = matching_open_paren(&toks, i) else { continue };
+        if open == 0 || toks[open - 1].kind != TokKind::Ident {
+            continue;
+        }
+        let callee = toks[open - 1].text.as_str();
+        let path_call = open >= 2 && toks[open - 2].is_punct(':');
+        if METHOD_IO.contains(&callee) || (path_call && PATH_IO.contains(&callee)) {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: toks[i + 1].line,
+                rule: "io-unwrap",
+                message: format!(
+                    "`.{}(..)` on the io::Result of `{callee}(..)`; crash-safety code must \
+                     propagate I/O errors (a torn write or injected fault here aborts instead \
+                     of keeping the previous generation)",
+                    toks[i + 1].text
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// `mask[i]` is true when token `i` sits inside a `#[cfg(test)] mod`
+/// body (attributes between the cfg and the `mod` keyword are allowed).
+fn test_mod_mask(toks: &[&Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if is_cfg_test_attr(toks, i) {
+            // Skip this and any further attributes, then expect `mod`.
+            let mut j = i;
+            while j < toks.len() && toks[j].is_punct('#') {
+                j = skip_attr(toks, j);
+            }
+            if j < toks.len() && toks[j].is_ident("mod") {
+                // `mod name {` — mark through the matching close brace.
+                let mut k = j;
+                while k < toks.len() && !toks[k].is_punct('{') {
+                    if toks[k].is_punct(';') {
+                        break; // `mod name;` — out-of-line, nothing here
+                    }
+                    k += 1;
+                }
+                if k < toks.len() && toks[k].is_punct('{') {
+                    let mut depth = 0i32;
+                    let mut end = k;
+                    while end < toks.len() {
+                        match toks[end].ch {
+                            '{' => depth += 1,
+                            '}' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        end += 1;
+                    }
+                    for slot in mask.iter_mut().take(end.min(toks.len() - 1) + 1).skip(i) {
+                        *slot = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Whether tokens at `i` spell `#[cfg(test)]` exactly.
+fn is_cfg_test_attr(toks: &[&Tok], i: usize) -> bool {
+    i + 6 < toks.len()
+        && toks[i].is_punct('#')
+        && toks[i + 1].is_punct('[')
+        && toks[i + 2].is_ident("cfg")
+        && toks[i + 3].is_punct('(')
+        && toks[i + 4].is_ident("test")
+        && toks[i + 5].is_punct(')')
+        && toks[i + 6].is_punct(']')
+}
+
+/// Skips a `#[...]` attribute starting at `i` (the `#`), returning the
+/// index just past its closing `]`.
+fn skip_attr(toks: &[&Tok], i: usize) -> usize {
+    let mut j = i + 1;
+    if j >= toks.len() || !toks[j].is_punct('[') {
+        return i + 1;
+    }
+    let mut depth = 0i32;
+    while j < toks.len() {
+        match toks[j].ch {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// For a `.` at `dot` whose receiver ends in `)`, the index of the
+/// matching `(`. `None` when the receiver is not a call.
+fn matching_open_paren(toks: &[&Tok], dot: usize) -> Option<usize> {
+    if dot == 0 || !toks[dot - 1].is_punct(')') {
+        return None;
+    }
+    let mut depth = 0i32;
+    for j in (0..dot).rev() {
+        match toks[j].ch {
+            ')' => depth += 1,
+            '(' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn unwrap_on_method_io_is_flagged() {
+        let src = "fn f() {\n    snapshot.save(&path).unwrap();\n    TrainCheckpoint::load(&path).expect(\"load\");\n}";
+        let f = check("x.rs", &lex(src));
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert_eq!(f[0].rule, "io-unwrap");
+        assert_eq!(f[0].line, 2);
+        assert!(f[0].message.contains("`save(..)`"));
+        assert_eq!(f[1].line, 3);
+    }
+
+    #[test]
+    fn unwrap_on_path_io_is_flagged() {
+        let src = "fn f() {\n    let bytes = std::fs::read(&path).unwrap();\n    std::fs::rename(&a, &b).expect(\"mv\");\n}";
+        let f = check("x.rs", &lex(src));
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn bare_read_method_is_not_flagged() {
+        // `read`/`write` as *method* names are lock guards and buffer
+        // traits far more often than I/O: only `::read(...)` flags.
+        let src = "fn f(l: &RwLock<u32>) -> u32 {\n    *l.read().unwrap()\n}\nfn g(l: &RwLock<u32>) {\n    *l.write().unwrap() += 1;\n}";
+        assert!(check("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn non_io_unwraps_are_not_flagged() {
+        let src = "fn f(v: &[u32]) -> u32 {\n    *v.last().unwrap()\n}\nfn g(o: Option<u32>) -> u32 {\n    o.expect(\"present\")\n}";
+        assert!(check("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_flagged() {
+        let src = "fn f(l: &RwLock<u32>) -> u32 {\n    *l.read().unwrap_or_else(|e| e.into_inner())\n}";
+        assert!(check("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped() {
+        let src = "fn f() {\n    snapshot.save(&p).unwrap();\n}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        snapshot.save(&p).unwrap();\n        std::fs::read(&p).unwrap();\n    }\n}";
+        let f = check("x.rs", &lex(src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn attributes_between_cfg_and_mod_are_tolerated() {
+        let src = "#[cfg(test)]\n#[allow(clippy::unwrap_used)]\nmod tests {\n    fn t() { std::fs::write(&p, b\"x\").unwrap(); }\n}";
+        assert!(check("x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn code_after_a_test_mod_is_still_checked() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { std::fs::read(&p).unwrap(); }\n}\nfn f() {\n    checkpoint.save_with(&p, &mut plan).unwrap();\n}";
+        let f = check("x.rs", &lex(src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn nested_call_arguments_do_not_confuse_the_matcher() {
+        let src = "fn f() {\n    fio::atomic_write(&path, &to_bytes(x), plan).unwrap();\n}";
+        let f = check("x.rs", &lex(src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("atomic_write"));
+    }
+}

@@ -1,8 +1,9 @@
-//! The five rule families. Each is a pure function from tokens (plus
+//! The six rule families. Each is a pure function from tokens (plus
 //! configuration) to findings; the engine owns file IO and suppression.
 
 pub mod determinism;
 pub mod hot_alloc;
+pub mod io_unwrap;
 pub mod kernel_coverage;
 pub mod sync_protocol;
 pub mod unsafe_confinement;

@@ -265,6 +265,69 @@ fn sync_protocol_findings_are_pragma_suppressible() {
     assert_eq!(report.suppressed, 1);
 }
 
+// ----- rule 6: io-unwrap ----------------------------------------------
+
+fn io_cfg() -> Config {
+    let mut cfg = base_cfg();
+    cfg.io_unwrap_prefixes = vec!["ckpt/src/".to_string()];
+    cfg
+}
+
+#[test]
+fn io_unwrap_in_crash_safety_crate_is_flagged() {
+    let fx = Fixture::new("io-unwrap");
+    let src = "pub fn persist(s: &Snapshot, p: &Path) {\n    s.save(p).unwrap();\n    let bytes = std::fs::read(p).expect(\"read back\");\n    use_it(bytes);\n}\n";
+    fx.write("ckpt/src/lib.rs", src);
+    // The same source outside the configured prefixes is not the
+    // rule's business.
+    fx.write("tools/src/lib.rs", src);
+    let report = fx.run(&io_cfg());
+    assert_eq!(rules_of(&report), vec!["io-unwrap", "io-unwrap"]);
+    assert!(report.findings.iter().all(|f| f.file == "ckpt/src/lib.rs"));
+    assert_eq!(report.findings[0].line, 2);
+    assert_eq!(report.findings[1].line, 3);
+}
+
+#[test]
+fn io_unwrap_ignores_tests_locks_and_options() {
+    let fx = Fixture::new("io-unwrap-clean");
+    fx.write(
+        "ckpt/src/lib.rs",
+        concat!(
+            "pub fn current(h: &RwLock<State>) -> State {\n",
+            // Lock-guard `.read()`/`.write()` are not I/O.
+            "    h.read().unwrap().clone()\n",
+            "}\n",
+            "pub fn first(v: &[u32]) -> u32 {\n",
+            "    *v.first().expect(\"non-empty\")\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn roundtrip() {\n",
+            "        let bytes = std::fs::read(\"fixture.bin\").unwrap();\n",
+            "        Snapshot::load(\"fixture.bin\").expect(\"load\");\n",
+            "        drop(bytes);\n",
+            "    }\n",
+            "}\n",
+        ),
+    );
+    let report = fx.run(&io_cfg());
+    assert!(report.is_clean(), "findings: {:?}", report.findings);
+}
+
+#[test]
+fn io_unwrap_is_pragma_suppressible() {
+    let fx = Fixture::new("io-unwrap-pragma");
+    fx.write(
+        "ckpt/src/lib.rs",
+        "pub fn f(p: &Path) {\n    // gnmr-analyze: allow(io-unwrap) -- bootstrap path, file baked into the image\n    let b = std::fs::read(p).unwrap();\n    use_it(b);\n}\n",
+    );
+    let report = fx.run(&io_cfg());
+    assert!(report.is_clean(), "findings: {:?}", report.findings);
+    assert_eq!(report.suppressed, 1);
+}
+
 // ----- JSON output ----------------------------------------------------
 
 #[test]

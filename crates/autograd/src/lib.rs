@@ -34,6 +34,6 @@ pub mod tape;
 pub use gradcheck::max_grad_error;
 pub use gnmr_tensor::Arena;
 pub use nn::{Activation, GruCell, Linear, Mlp};
-pub use optim::{adam_step, sgd_step, Adam, AdamStep, Sgd};
+pub use optim::{adam_step, sgd_step, Adam, AdamState, AdamStep, Sgd};
 pub use params::{Ctx, Grads, ParamStore};
 pub use tape::{Graph, Var};

@@ -138,6 +138,47 @@ impl Adam {
         self.lr *= self.lr_decay;
     }
 
+    /// Freezes the optimizer's evolving state for checkpointing: the
+    /// step count, the *decayed* learning rate (stored as the exact f32
+    /// reached by the repeated `lr *= lr_decay` chain — recomputing it
+    /// as a power on resume would not be bitwise-identical), and both
+    /// moment maps in ascending name order.
+    pub fn export_state(&self) -> AdamState {
+        let moments = self
+            .m
+            .iter()
+            .map(|(name, m)| {
+                let v = self.v.get(name).expect("Adam: m and v are inserted together");
+                (name.clone(), m.clone(), v.clone())
+            })
+            .collect();
+        AdamState { t: self.t, lr: self.lr, moments }
+    }
+
+    /// Restores state frozen by [`Adam::export_state`]. Hyperparameters
+    /// (betas, eps, weight decay, decay rate) are construction-time
+    /// configuration and are left untouched; a resumed optimizer takes
+    /// its next step exactly as the uninterrupted one would have.
+    ///
+    /// # Panics
+    /// If the moment names are not strictly ascending or m/v shapes
+    /// disagree (a malformed checkpoint; loaders validate first).
+    pub fn restore_state(&mut self, state: AdamState) {
+        assert!(
+            state.moments.windows(2).all(|w| w[0].0 < w[1].0),
+            "Adam::restore_state: moments must be strictly ascending by name"
+        );
+        self.t = state.t;
+        self.lr = state.lr;
+        self.m.clear();
+        self.v.clear();
+        for (name, m, v) in state.moments {
+            assert_eq!(m.shape(), v.shape(), "Adam::restore_state: m/v shape mismatch for {name:?}");
+            self.m.insert(name.clone(), m);
+            self.v.insert(name, v);
+        }
+    }
+
     /// Applies one update step (fused, allocation-free after each
     /// parameter's first step, which mints its moment buffers).
     pub fn step(&mut self, store: &mut ParamStore, grads: &Grads) {
@@ -162,6 +203,21 @@ impl Adam {
             adam_step(w, g, m, v, &cfg);
         }
     }
+}
+
+/// Frozen [`Adam`] state: everything that evolves across steps, in
+/// checkpointable form. Produced by [`Adam::export_state`], consumed by
+/// [`Adam::restore_state`]; the `(name, m, v)` triples are strictly
+/// ascending by name (the `BTreeMap` iteration order), so serialization
+/// is canonical.
+#[derive(Clone, Debug)]
+pub struct AdamState {
+    /// Steps taken so far (drives bias correction).
+    pub t: u64,
+    /// The current — already decayed — learning rate.
+    pub lr: f32,
+    /// `(name, first moment, second moment)`, ascending by name.
+    pub moments: Vec<(String, Matrix, Matrix)>,
 }
 
 /// Per-step constants for [`adam_step`]: the optimizer hyperparameters
@@ -314,6 +370,36 @@ mod tests {
         assert!((opt.lr - 0.96).abs() < 1e-6);
         opt.decay_lr();
         assert!((opt.lr - 0.9216).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adam_state_roundtrip_resumes_bitwise() {
+        // Train 6 steps straight vs. 3 steps, freeze/restore into a
+        // *fresh* optimizer, 3 more: parameters must match bitwise.
+        let run = |split: Option<usize>| {
+            let mut store = ParamStore::new();
+            store.insert("w", Matrix::from_vec(1, 3, vec![5.0, -4.0, 2.0]));
+            let target = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+            let mut opt = Adam::new(0.05).with_weight_decay(1e-3);
+            for step in 0..6 {
+                if split == Some(step) {
+                    let state = opt.export_state();
+                    opt = Adam::new(0.05).with_weight_decay(1e-3);
+                    opt.restore_state(state);
+                }
+                let mut ctx = Ctx::new(&store);
+                let w = ctx.param("w");
+                let t = ctx.constant(target.clone());
+                let d = ctx.g.sub(w, t);
+                let sq = ctx.g.sqr(d);
+                let loss = ctx.g.sum(sq);
+                let grads = ctx.grads(loss);
+                opt.step(&mut store, &grads);
+                opt.decay_lr();
+            }
+            store.get("w").data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(None), run(Some(3)));
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! * [`model`] — L-layer propagation over the multi-behavior bipartite
 //!   graph and multi-order matching scores;
 //! * [`pretrain`] — autoencoder-based order-0 embedding initialization;
-//! * [`trainer`] — Algorithm 1 with the Eq. 7 pairwise hinge loss.
+//! * [`trainer`] — Algorithm 1 with the Eq. 7 pairwise hinge loss;
+//! * [`checkpoint`] — crash-safe, bitwise-resumable training
+//!   checkpoints over the fault-injectable I/O layer.
 //!
 //! # Quickstart
 //!
@@ -32,6 +34,7 @@
 //! ```
 
 pub mod attention;
+pub mod checkpoint;
 pub mod config;
 pub mod fusion;
 pub mod model;
@@ -39,6 +42,7 @@ pub mod pretrain;
 pub mod trainer;
 pub mod type_embedding;
 
+pub use checkpoint::{Checkpointing, TrainCheckpoint};
 pub use config::{GnmrConfig, GnmrVariant, TrainConfig};
 pub use model::Gnmr;
 pub use pretrain::pretrain_embeddings;

@@ -6,12 +6,15 @@
 //! `max(0, 1 - Pr_{i,pos} + Pr_{i,neg})` plus Frobenius regularization
 //! (as Adam weight decay) with per-epoch learning-rate decay 0.96.
 
+use std::io;
 use std::sync::Arc;
 
 use gnmr_autograd::{Adam, Ctx, Grads};
 use gnmr_graph::{BatchSampler, MultiBehaviorGraph};
-use gnmr_tensor::rng;
+use gnmr_tensor::rng::StateRng;
+use gnmr_tensor::wire;
 
+use crate::checkpoint::{Checkpointing, TrainCheckpoint};
 use crate::config::TrainConfig;
 use crate::model::Gnmr;
 
@@ -48,13 +51,62 @@ impl Gnmr {
     /// "w/o like" ablation, where the target channel is removed from
     /// message passing but training labels still come from it.
     pub fn fit_with_labels(&mut self, labels: &MultiBehaviorGraph, tcfg: &TrainConfig) -> TrainReport {
+        match self.fit_inner(labels, tcfg, None) {
+            Ok(report) => report,
+            // Without a checkpointing policy the loop performs no I/O,
+            // so no error path exists.
+            Err(e) => unreachable!("fit without checkpointing performed I/O: {e}"),
+        }
+    }
+
+    /// [`Gnmr::fit`] with crash safety: atomically writes a
+    /// [`TrainCheckpoint`] to `ck.path` every `ck.every` completed
+    /// epochs, and (when `ck.resume` is set and the file exists)
+    /// resumes from it instead of starting over. A resumed run is
+    /// **bitwise identical** to the uninterrupted run — parameters,
+    /// representations, recommendations, eval output — because the
+    /// checkpoint freezes every evolving input (params, Adam moments
+    /// and decayed lr as exact bits, sampler RNG state, epoch counter)
+    /// and everything else is pure configuration or bitwise-neutral
+    /// (`tests/determinism.rs` pins this at thread counts 1/2/4).
+    ///
+    /// Errors surface checkpoint I/O failures (including injected
+    /// faults from `ck.plan`) and resume-validation failures
+    /// ([`io::ErrorKind::InvalidData`] when the checkpoint does not
+    /// match this model's parameters or the training config). On a
+    /// mid-training write error the model is left partially trained
+    /// without refreshed representations; the on-disk checkpoint is
+    /// still whole (old or new generation, never a blend).
+    ///
+    /// # Panics
+    /// If the graph dimensions do not match the model.
+    pub fn fit_checkpointed(
+        &mut self,
+        graph: &MultiBehaviorGraph,
+        tcfg: &TrainConfig,
+        ck: &mut Checkpointing,
+    ) -> io::Result<TrainReport> {
+        assert_eq!(graph.n_behaviors(), self.n_behaviors(), "fit: behavior count mismatch");
+        self.fit_inner(graph, tcfg, Some(ck))
+    }
+
+    /// The shared training loop; `ck` is the only source of I/O (and
+    /// therefore of errors).
+    fn fit_inner(
+        &mut self,
+        labels: &MultiBehaviorGraph,
+        tcfg: &TrainConfig,
+        mut ck: Option<&mut Checkpointing>,
+    ) -> io::Result<TrainReport> {
         let graph = labels;
         assert_eq!(graph.n_users(), self.n_users(), "fit: user count mismatch");
         assert_eq!(graph.n_items(), self.n_items(), "fit: item count mismatch");
 
         let sampler = BatchSampler::new(graph);
         let mut opt = Adam::new(tcfg.lr).with_weight_decay(tcfg.weight_decay);
-        let mut sample_rng = rng::substream(tcfg.seed, 0x7212);
+        // The checkpointable SplitMix64 — stream-identical to the old
+        // `rng::substream` SmallRng, so training bytes are unchanged.
+        let mut sample_rng = StateRng::substream(tcfg.seed, 0x7212);
         let steps_per_epoch = sampler
             .eligible_users()
             .len()
@@ -67,9 +119,19 @@ impl Gnmr {
         // performs zero heap allocations (the `train_step` bench's
         // allocation gate pins this). Bytes are identical to the old
         // allocate-per-op path, so training results are unchanged.
+        // (Warm arena state is also why resume needs no arena bytes:
+        // warm-vs-fresh is pinned bitwise-neutral.)
         let mut grads = Grads::default();
         let mut report = TrainReport::default();
-        for _epoch in 0..tcfg.epochs {
+        let mut start_epoch = 0usize;
+        if let Some(ck) = ck.as_deref_mut() {
+            if ck.resume && ck.path.exists() {
+                let c = TrainCheckpoint::load_with(&ck.path, &mut ck.plan)?;
+                self.restore_checkpoint(&c, tcfg, &mut opt, &mut sample_rng, &mut report)?;
+                start_epoch = c.epochs_done as usize;
+            }
+        }
+        for epoch in start_epoch..tcfg.epochs {
             let mut epoch_loss = 0.0;
             let mut counted = 0usize;
             for _ in 0..steps_per_epoch {
@@ -104,6 +166,15 @@ impl Gnmr {
             }
             opt.decay_lr();
             report.epoch_losses.push(if counted > 0 { epoch_loss / counted as f32 } else { f32::NAN });
+            if let Some(ck) = ck.as_deref_mut() {
+                // Epoch boundaries are the only coherent cut points:
+                // the RNG sits between epochs, the lr decay has been
+                // applied, and the loss history is whole.
+                if (epoch + 1) % ck.every == 0 {
+                    let c = TrainCheckpoint::capture(&self.store, &opt, &sample_rng, epoch + 1, &report);
+                    c.save_with(&ck.path, &mut ck.plan)?;
+                }
+            }
         }
         // Hand the last step's gradient buffers back so a future fit on
         // this model starts with a fully warm arena.
@@ -111,7 +182,63 @@ impl Gnmr {
 
         debug_assert!(self.store.all_finite(), "parameters diverged");
         self.refresh_representations();
-        report
+        Ok(report)
+    }
+
+    /// Validates a loaded checkpoint against this model and the run
+    /// config, then installs it into the training state. Mismatches —
+    /// a checkpoint from a different model or config — are
+    /// [`io::ErrorKind::InvalidData`], never a panic: a stale file on
+    /// disk is data, not a programmer error.
+    fn restore_checkpoint(
+        &mut self,
+        c: &TrainCheckpoint,
+        tcfg: &TrainConfig,
+        opt: &mut Adam,
+        sample_rng: &mut StateRng,
+        report: &mut TrainReport,
+    ) -> io::Result<()> {
+        if c.epochs_done as usize > tcfg.epochs {
+            return Err(wire::bad(format!(
+                "checkpoint: {} completed epochs exceeds the configured {}",
+                c.epochs_done, tcfg.epochs
+            )));
+        }
+        if c.params.len() != self.store.len() {
+            return Err(wire::bad(format!(
+                "checkpoint: {} parameters, model has {} — wrong model or config",
+                c.params.len(),
+                self.store.len()
+            )));
+        }
+        for (name, m) in &c.params {
+            if !self.store.contains(name) {
+                return Err(wire::bad(format!("checkpoint: parameter {name:?} not in this model")));
+            }
+            let w = self.store.get(name);
+            if w.shape() != m.shape() {
+                return Err(wire::bad(format!(
+                    "checkpoint: parameter {name:?} has shape {:?}, model expects {:?}",
+                    m.shape(),
+                    w.shape()
+                )));
+            }
+        }
+        for (name, m, _) in &c.opt.moments {
+            if !self.store.contains(name) || self.store.get(name).shape() != m.shape() {
+                return Err(wire::bad(format!(
+                    "checkpoint: moment {name:?} does not match a model parameter"
+                )));
+            }
+        }
+        for (name, m) in &c.params {
+            *self.store.get_mut(name) = m.clone();
+        }
+        opt.restore_state(c.opt.clone());
+        *sample_rng = StateRng::from_state(c.rng_state);
+        report.steps = c.steps as usize;
+        report.epoch_losses = c.epoch_losses.clone();
+        Ok(())
     }
 }
 

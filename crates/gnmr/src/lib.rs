@@ -40,13 +40,18 @@ pub mod prelude {
         AutoRec, BaselineConfig, BiasMf, Cdae, CfUica, Dipn, Dmf, Nade, Ncf, NcfVariant, Ngcf,
         Nmtr,
     };
-    pub use gnmr_core::{Gnmr, GnmrConfig, GnmrVariant, TrainConfig, TrainReport};
+    pub use gnmr_core::{
+        Checkpointing, Gnmr, GnmrConfig, GnmrVariant, TrainCheckpoint, TrainConfig, TrainReport,
+    };
     pub use gnmr_data::{Dataset, EvalInstance};
     pub use gnmr_eval::{
         evaluate, evaluate_auto, evaluate_parallel, EvalReport, PopularityRecommender,
         RandomRecommender, Recommender, Table,
     };
-    pub use gnmr_serve::{ExcludeLists, ModelSnapshot, ServeIndex};
+    pub use gnmr_serve::{
+        ExcludeLists, ModelNotReady, ModelSnapshot, ReloadError, ServeHandle, ServeIndex,
+    };
+    pub use gnmr_tensor::fio::{Fault, FaultPlan};
     pub use gnmr_tensor::par;
     pub use gnmr_graph::{
         BatchSampler, GraphStats, Interaction, InteractionLog, MultiBehaviorGraph, NeighborNorm,

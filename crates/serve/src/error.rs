@@ -1,0 +1,31 @@
+//! Typed serving-side errors.
+
+use std::fmt;
+use std::io;
+
+/// The model has no cached representations yet — `fit()` or
+/// `refresh_representations()` has not run — so there is nothing to
+/// freeze or serve. Returned (never panicked) by
+/// [`crate::ModelSnapshot::from_model`] and
+/// [`crate::ServeIndex::from_model`]: on the serving side a not-ready
+/// model is an operational condition to report, not a programmer error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelNotReady;
+
+impl fmt::Display for ModelNotReady {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(
+            "model is not ready: no cached representations; call fit() or refresh_representations() first",
+        )
+    }
+}
+
+impl std::error::Error for ModelNotReady {}
+
+impl From<ModelNotReady> for io::Error {
+    /// Lets snapshot-then-save pipelines use one `?` chain:
+    /// `ModelSnapshot::from_model(&model)?.save(path)?`.
+    fn from(e: ModelNotReady) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidInput, e.to_string())
+    }
+}

@@ -23,6 +23,7 @@ use std::cell::RefCell;
 
 use gnmr_tensor::{kernels, par, Matrix};
 
+use crate::error::ModelNotReady;
 use crate::snapshot::ModelSnapshot;
 
 /// Per-user exclusion lists (already-seen items) in CSR layout: row `u`
@@ -147,11 +148,12 @@ impl ServeIndex {
     }
 
     /// Builds an index straight from a ready model (no snapshot file).
-    pub fn from_model(model: &gnmr_core::Gnmr) -> Self {
-        let (u, v) = model
-            .representations()
-            .expect("ServeIndex::from_model: model is not ready; fit() or refresh_representations() first");
-        Self::new(u.clone(), v.clone())
+    /// Errors with [`ModelNotReady`] if the model has no cached
+    /// representations yet (call `fit` or `refresh_representations`
+    /// first).
+    pub fn from_model(model: &gnmr_core::Gnmr) -> Result<Self, ModelNotReady> {
+        let (u, v) = model.representations().ok_or(ModelNotReady)?;
+        Ok(Self::new(u.clone(), v.clone()))
     }
 
     /// Number of users the index can serve.

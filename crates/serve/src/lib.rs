@@ -15,9 +15,20 @@
 //! Throughput is tracked by the `serve` bench family
 //! (`results/bench_serve.json`): users/sec at catalog sizes 10^5–10^7,
 //! with a CI regression gate on the steady-state allocation count.
+//!
+//! Deployment is fault-tolerant: snapshot writes are atomic and all
+//! snapshot I/O routes through the fault-injectable layer
+//! ([`gnmr_tensor::fio`]), and a [`ServeHandle`] hot-reloads new
+//! snapshots with full off-to-the-side validation, an atomic
+//! generation swap, typed errors ([`ReloadError`], [`ModelNotReady`])
+//! instead of panics, and one level of rollback.
 
+pub mod error;
 pub mod index;
+pub mod reload;
 pub mod snapshot;
 
+pub use error::ModelNotReady;
 pub use index::{ExcludeLists, ServeIndex};
+pub use reload::{ReloadError, ServeHandle};
 pub use snapshot::ModelSnapshot;

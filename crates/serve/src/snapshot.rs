@@ -4,7 +4,8 @@
 //! (so a model can be rehydrated for fine-tuning or audit) plus the fused
 //! multi-order user/item representation matrices (so serving never has to
 //! re-run the propagation forward pass). No serde exists in this
-//! workspace, so the layout is hand-rolled little-endian:
+//! workspace, so the layout is hand-rolled little-endian, built on the
+//! shared artifact codec in [`gnmr_tensor::wire`]:
 //!
 //! ```text
 //! offset  size  field
@@ -26,14 +27,29 @@
 //! rejects corrupt or foreign input up front: bad magic, unsupported
 //! version, checksum mismatch, truncation, trailing bytes, non-UTF-8 or
 //! out-of-order names, and representation-width mismatches all fail with
-//! [`std::io::ErrorKind::InvalidData`] before any value is trusted.
+//! [`std::io::ErrorKind::InvalidData`] before any value is trusted. The
+//! header is hardened against allocation bombs: the declared shape-table
+//! count, every `rows × cols` product, and the total declared payload
+//! are all bounded against the bytes actually present **before** any
+//! allocation happens, so even a corrupt header restamped with a valid
+//! checksum cannot reserve more memory than the file's own size.
+//!
+//! File I/O goes through the fault-injectable layer
+//! ([`gnmr_tensor::fio`]): [`ModelSnapshot::save`] is atomic
+//! (temp → fsync → rename), and the `_with` variants accept a
+//! [`FaultPlan`] so crash drills can tear the write at any byte and
+//! assert the previous generation survives.
 
 use std::io;
 use std::path::Path;
 
 use gnmr_autograd::ParamStore;
 use gnmr_core::Gnmr;
+use gnmr_tensor::fio::{self, FaultPlan};
+use gnmr_tensor::wire::{self, Reader};
 use gnmr_tensor::Matrix;
+
+use crate::error::ModelNotReady;
 
 /// First 8 snapshot bytes; anything else is not a snapshot.
 pub const MAGIC: [u8; 8] = *b"GNMRSNAP";
@@ -41,71 +57,6 @@ pub const MAGIC: [u8; 8] = *b"GNMRSNAP";
 /// Current snapshot format version. Bump on any layout change; load
 /// refuses other versions rather than guessing.
 pub const VERSION: u32 = 1;
-
-/// FNV-1a 64-bit: dependency-free, byte-order-independent, and strong
-/// enough to catch the single-byte flips and truncations the loader
-/// guards against (this is an integrity check, not an authenticity one).
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-fn bad(msg: impl Into<String>) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.into())
-}
-
-/// Bounds-checked little-endian reader over the snapshot body.
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize, what: &str) -> io::Result<&'a [u8]> {
-        let end = self.pos.checked_add(n).ok_or_else(|| bad("snapshot: length overflow"))?;
-        if end > self.bytes.len() {
-            return Err(bad(format!(
-                "snapshot: truncated while reading {what} ({} bytes left, {n} needed)",
-                self.bytes.len() - self.pos
-            )));
-        }
-        let s = &self.bytes[self.pos..end];
-        self.pos = end;
-        Ok(s)
-    }
-
-    fn u32(&mut self, what: &str) -> io::Result<u32> {
-        let b = self.take(4, what)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-    }
-
-    /// `rows × cols` f32 bit patterns into a [`Matrix`].
-    fn matrix(&mut self, rows: u32, cols: u32, what: &str) -> io::Result<Matrix> {
-        let n = (rows as usize)
-            .checked_mul(cols as usize)
-            .ok_or_else(|| bad(format!("snapshot: {what} shape overflows")))?;
-        let raw = self.take(n.checked_mul(4).ok_or_else(|| bad("snapshot: payload overflow"))?, what)?;
-        let mut data = Vec::with_capacity(n);
-        for c in raw.chunks_exact(4) {
-            data.push(f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]])));
-        }
-        Ok(Matrix::from_vec(rows as usize, cols as usize, data))
-    }
-}
-
-fn push_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn push_matrix(out: &mut Vec<u8>, m: &Matrix) {
-    for &v in m.data() {
-        out.extend_from_slice(&v.to_bits().to_le_bytes());
-    }
-}
 
 /// A frozen model: parameters plus the fused representation matrices.
 pub struct ModelSnapshot {
@@ -136,15 +87,14 @@ impl ModelSnapshot {
         ModelSnapshot { params, user_repr, item_repr }
     }
 
-    /// Freezes a trained [`Gnmr`]. Panics if the model has no cached
-    /// representations yet (call `fit` or `refresh_representations`
-    /// first) — a snapshot without a scoring surface serves nothing.
-    pub fn from_model(model: &Gnmr) -> Self {
-        let (u, v) = model
-            .representations()
-            .expect("ModelSnapshot::from_model: model is not ready; fit() or refresh_representations() first");
+    /// Freezes a trained [`Gnmr`]. Errors with [`ModelNotReady`] if the
+    /// model has no cached representations yet (call `fit` or
+    /// `refresh_representations` first) — a snapshot without a scoring
+    /// surface serves nothing.
+    pub fn from_model(model: &Gnmr) -> Result<Self, ModelNotReady> {
+        let (u, v) = model.representations().ok_or(ModelNotReady)?;
         let params = model.params().iter().map(|(n, m)| (n.to_string(), m.clone())).collect();
-        Self::new(params, u.clone(), v.clone())
+        Ok(Self::new(params, u.clone(), v.clone()))
     }
 
     /// The frozen user representations (one row per user).
@@ -181,54 +131,40 @@ impl ModelSnapshot {
             + 4 * (self.user_repr.data().len() + self.item_repr.data().len());
         let mut out = Vec::with_capacity(32 + payload + 8);
         out.extend_from_slice(&MAGIC);
-        push_u32(&mut out, VERSION);
-        push_u32(&mut out, self.params.len() as u32);
-        push_u32(&mut out, self.user_repr.rows() as u32);
-        push_u32(&mut out, self.user_repr.cols() as u32);
-        push_u32(&mut out, self.item_repr.rows() as u32);
-        push_u32(&mut out, self.item_repr.cols() as u32);
-        for (name, m) in &self.params {
-            push_u32(&mut out, name.len() as u32);
-            out.extend_from_slice(name.as_bytes());
-            push_u32(&mut out, m.rows() as u32);
-            push_u32(&mut out, m.cols() as u32);
-        }
+        wire::push_u32(&mut out, VERSION);
+        wire::push_u32(&mut out, self.params.len() as u32);
+        wire::push_u32(&mut out, self.user_repr.rows() as u32);
+        wire::push_u32(&mut out, self.user_repr.cols() as u32);
+        wire::push_u32(&mut out, self.item_repr.rows() as u32);
+        wire::push_u32(&mut out, self.item_repr.cols() as u32);
+        wire::push_shape_table(&mut out, &self.params);
         for (_, m) in &self.params {
-            push_matrix(&mut out, m);
+            wire::push_matrix(&mut out, m);
         }
-        push_matrix(&mut out, &self.user_repr);
-        push_matrix(&mut out, &self.item_repr);
-        let sum = fnv1a64(&out);
-        out.extend_from_slice(&sum.to_le_bytes());
+        wire::push_matrix(&mut out, &self.user_repr);
+        wire::push_matrix(&mut out, &self.item_repr);
+        wire::seal(&mut out);
         out
     }
 
     /// Parses and validates a snapshot. Every rejection path —
     /// truncation, bad magic, unsupported version, checksum mismatch,
-    /// malformed table, trailing bytes — returns
+    /// malformed or oversized table, trailing bytes — returns
     /// [`io::ErrorKind::InvalidData`] with a message naming the defect.
     pub fn from_bytes(bytes: &[u8]) -> io::Result<Self> {
-        if bytes.len() < MAGIC.len() + 4 + 8 {
-            return Err(bad(format!("snapshot: {} bytes is too short to be a snapshot", bytes.len())));
-        }
         // Integrity first: nothing after this point trusts a byte the
         // checksum has not covered.
-        let (body, tail) = bytes.split_at(bytes.len() - 8);
-        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
-        let computed = fnv1a64(body);
-        if stored != computed {
-            return Err(bad(format!(
-                "snapshot: checksum mismatch (stored {stored:#018x}, computed {computed:#018x}) — corrupt or truncated"
-            )));
-        }
-        let mut r = Reader { bytes: body, pos: 0 };
+        let body = wire::open(bytes, "snapshot")?;
+        let mut r = Reader::new(body, "snapshot");
         let magic = r.take(MAGIC.len(), "magic")?;
         if magic != MAGIC {
-            return Err(bad("snapshot: bad magic (not a GNMR snapshot)"));
+            return Err(wire::bad("snapshot: bad magic (not a GNMR snapshot)"));
         }
         let version = r.u32("version")?;
         if version != VERSION {
-            return Err(bad(format!("snapshot: unsupported format version {version} (expected {VERSION})")));
+            return Err(wire::bad(format!(
+                "snapshot: unsupported format version {version} (expected {VERSION})"
+            )));
         }
         let n_params = r.u32("param count")? as usize;
         let u_rows = r.u32("user_repr rows")?;
@@ -236,43 +172,58 @@ impl ModelSnapshot {
         let v_rows = r.u32("item_repr rows")?;
         let v_cols = r.u32("item_repr cols")?;
         if u_cols != v_cols {
-            return Err(bad(format!("snapshot: representation width mismatch ({u_cols} vs {v_cols})")));
+            return Err(wire::bad(format!(
+                "snapshot: representation width mismatch ({u_cols} vs {v_cols})"
+            )));
         }
-        let mut table = Vec::with_capacity(n_params);
-        for i in 0..n_params {
-            let name_len = r.u32("param name length")? as usize;
-            let name = std::str::from_utf8(r.take(name_len, "param name")?)
-                .map_err(|_| bad(format!("snapshot: param {i} name is not UTF-8")))?
-                .to_string();
-            if let Some((prev, _, _)) = table.last() {
-                if *prev >= name {
-                    return Err(bad(format!("snapshot: param table not strictly ascending at {name:?}")));
-                }
-            }
-            let rows = r.u32("param rows")?;
-            let cols = r.u32("param cols")?;
-            table.push((name, rows, cols));
+        // Bound the representation payload the header promises against
+        // the bytes actually present, before any table or matrix work.
+        let repr_bytes = (u_rows as usize)
+            .checked_mul(u_cols as usize)
+            .and_then(|u| {
+                (v_rows as usize)
+                    .checked_mul(v_cols as usize)
+                    .and_then(|v| u.checked_add(v))
+            })
+            .and_then(|n| n.checked_mul(4))
+            .ok_or_else(|| wire::bad("snapshot: representation shape overflows"))?;
+        if repr_bytes > r.remaining() {
+            return Err(wire::bad(format!(
+                "snapshot: header declares {repr_bytes} representation bytes but only {} remain",
+                r.remaining()
+            )));
         }
-        let mut params = Vec::with_capacity(n_params);
+        let table = wire::read_shape_table(&mut r, n_params, "snapshot param")?;
+        let mut params = Vec::with_capacity(table.len());
         for (name, rows, cols) in table {
             let m = r.matrix(rows, cols, &format!("param {name:?} payload"))?;
             params.push((name, m));
         }
         let user_repr = r.matrix(u_rows, u_cols, "user_repr payload")?;
         let item_repr = r.matrix(v_rows, v_cols, "item_repr payload")?;
-        if r.pos != body.len() {
-            return Err(bad(format!("snapshot: {} trailing bytes after payload", body.len() - r.pos)));
-        }
+        r.finish()?;
         Ok(ModelSnapshot { params, user_repr, item_repr })
     }
 
-    /// Writes the snapshot to `path`.
-    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        std::fs::write(path, self.to_bytes())
+    /// Atomically writes the snapshot to `path` under a fault plan
+    /// (temp → fsync → rename; see [`fio::atomic_write`]): a crash at
+    /// any byte leaves either the previous snapshot or this one.
+    pub fn save_with(&self, path: impl AsRef<Path>, plan: &mut FaultPlan) -> io::Result<()> {
+        fio::atomic_write(path, &self.to_bytes(), plan)
     }
 
-    /// Reads and validates a snapshot from `path`.
+    /// [`ModelSnapshot::save_with`] without fault injection.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        self.save_with(path, &mut FaultPlan::none())
+    }
+
+    /// Reads and validates a snapshot from `path` under a fault plan.
+    pub fn load_with(path: impl AsRef<Path>, plan: &mut FaultPlan) -> io::Result<Self> {
+        Self::from_bytes(&fio::read_bytes(path, plan)?)
+    }
+
+    /// [`ModelSnapshot::load_with`] without fault injection.
     pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
-        Self::from_bytes(&std::fs::read(path)?)
+        Self::load_with(path, &mut FaultPlan::none())
     }
 }

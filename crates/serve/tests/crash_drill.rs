@@ -1,0 +1,183 @@
+//! Crash-drill sweep for snapshot I/O: tear the write at **every byte
+//! offset** and assert, for each injection point, that
+//!
+//! 1. the destination still holds the previous generation, whole;
+//! 2. the partial temp-file debris never parses as a snapshot;
+//! 3. a subsequent clean write replaces the artifact correctly.
+//!
+//! Plus the seeded fault matrix: pinned-seed [`FaultPlan::seeded`]
+//! plans across a write/read workload, asserting every outcome is
+//! either a clean success or a typed error with the old generation
+//! intact — never a wedged or half-visible artifact.
+
+use std::path::PathBuf;
+
+use gnmr_core::{Gnmr, GnmrConfig};
+use gnmr_serve::{ModelSnapshot, ServeIndex};
+use gnmr_tensor::fio::{self, temp_path, Fault, FaultPlan};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gnmr_drill_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Two snapshot generations of the same tiny model: generation 2 is the
+/// model after one more representation refresh with perturbed params.
+fn two_generations() -> (ModelSnapshot, ModelSnapshot) {
+    let d = gnmr_data::presets::tiny_movielens(3);
+    let cfg = GnmrConfig {
+        dim: 8,
+        memory_dims: 4,
+        heads: 2,
+        layers: 1,
+        fusion_hidden: 8,
+        pretrain: false,
+        seed: 5,
+        ..GnmrConfig::default()
+    };
+    let mut model = Gnmr::new(&d.graph, cfg);
+    model.refresh_representations();
+    let gen1 = ModelSnapshot::from_model(&model).expect("ready");
+    for (_, m) in model.params_mut().iter_mut() {
+        for v in m.data_mut() {
+            *v *= 1.0625; // exact in f32: generation 2 differs everywhere
+        }
+    }
+    model.refresh_representations();
+    let gen2 = ModelSnapshot::from_model(&model).expect("ready");
+    (gen1, gen2)
+}
+
+#[test]
+fn torn_write_at_every_byte_keeps_previous_generation() {
+    let (gen1, gen2) = two_generations();
+    let dir = scratch("sweep");
+    let path = dir.join("model.snap");
+    gen1.save(&path).expect("seed generation 1");
+    let gen1_bytes = gen1.to_bytes();
+    let gen2_bytes = gen2.to_bytes();
+
+    for at in 0..=gen2_bytes.len() {
+        let mut plan = FaultPlan::inject(0, Fault::TornWrite { at });
+        let err = gen2.save_with(&path, &mut plan).expect_err("torn write must error");
+        assert_eq!(err.kind(), std::io::ErrorKind::Interrupted, "at {at}");
+
+        // The previous generation survives, whole and loadable.
+        assert_eq!(std::fs::read(&path).expect("dest"), gen1_bytes, "at {at}: destination damaged");
+        let loaded = ModelSnapshot::load(&path).expect("previous generation loads");
+        assert_eq!(loaded.to_bytes(), gen1_bytes);
+
+        // The debris is exactly the declared prefix, and — except for
+        // the complete-file case — never parses as a snapshot.
+        let debris = std::fs::read(temp_path(&path)).expect("debris");
+        assert_eq!(debris, &gen2_bytes[..at], "at {at}: unexpected debris");
+        if at < gen2_bytes.len() {
+            let err = ModelSnapshot::from_bytes(&debris).err().expect("partial debris parsed");
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "at {at}");
+        }
+        let _ = std::fs::remove_file(temp_path(&path));
+    }
+
+    // After the whole sweep a clean write still goes through.
+    gen2.save(&path).expect("clean write");
+    assert_eq!(std::fs::read(&path).expect("dest"), gen2_bytes);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn short_read_at_every_byte_is_rejected_by_the_loader() {
+    let (gen1, _) = two_generations();
+    let dir = scratch("shortread");
+    let path = dir.join("model.snap");
+    gen1.save(&path).expect("save");
+    let full = gen1.to_bytes();
+    for at in 0..full.len() {
+        let mut plan = FaultPlan::inject(0, Fault::ShortRead { at });
+        let err = ModelSnapshot::load_with(&path, &mut plan).err().expect("short read accepted");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "at {at}");
+    }
+    // Reading the full length through the fault layer still works.
+    let mut plan = FaultPlan::inject(0, Fault::ShortRead { at: full.len() });
+    assert_eq!(ModelSnapshot::load_with(&path, &mut plan).expect("full read").to_bytes(), full);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn error_faults_surface_typed_errors_and_clean_up() {
+    let (gen1, gen2) = two_generations();
+    let dir = scratch("errors");
+    let path = dir.join("model.snap");
+    gen1.save(&path).expect("seed");
+    let gen1_bytes = gen1.to_bytes();
+
+    let cases = [
+        (Fault::WriteError, std::io::ErrorKind::StorageFull),
+        (Fault::RenameError, std::io::ErrorKind::PermissionDenied),
+    ];
+    for (fault, kind) in cases {
+        let mut plan = FaultPlan::inject(0, fault);
+        let err = gen2.save_with(&path, &mut plan).expect_err("fault must error");
+        assert_eq!(err.kind(), kind, "{fault:?}");
+        assert_eq!(plan.fired(), Some(fault));
+        assert_eq!(std::fs::read(&path).expect("dest"), gen1_bytes, "{fault:?} damaged dest");
+        assert!(!temp_path(&path).exists(), "{fault:?} left its temp file");
+    }
+    let mut plan = FaultPlan::inject(0, Fault::ReadError);
+    assert!(ModelSnapshot::load_with(&path, &mut plan).is_err());
+    assert_eq!(ModelSnapshot::load(&path).expect("intact").to_bytes(), gen1_bytes);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn seeded_fault_matrix_never_wedges_the_artifact() {
+    // Pinned seeds 0..48 (CI runs the same matrix): each seed injects
+    // one derived fault somewhere in a 4×(write, read) workload. After
+    // every operation the destination must hold a complete, loadable
+    // generation — the previous one on failure, the new one on success.
+    let (gen1, gen2) = two_generations();
+    let generations = [gen1.to_bytes(), gen2.to_bytes()];
+    for seed in 0..48u64 {
+        let dir = scratch(&format!("matrix{seed}"));
+        let path = dir.join("model.snap");
+        gen1.save(&path).expect("seed generation 1");
+        let mut plan = FaultPlan::seeded(seed);
+        for round in 0..4 {
+            let writing = [&gen2, &gen1][round % 2];
+            let write_ok = writing.save_with(&path, &mut plan).is_ok();
+            let on_disk = std::fs::read(&path).expect("destination always exists");
+            assert!(
+                generations.contains(&on_disk),
+                "seed {seed} round {round}: destination is not a whole generation"
+            );
+            if write_ok {
+                assert_eq!(on_disk, writing.to_bytes(), "seed {seed}: clean write not visible");
+            }
+            match ModelSnapshot::load_with(&path, &mut plan) {
+                Ok(snap) => assert_eq!(snap.to_bytes(), on_disk, "seed {seed}: load drifted"),
+                // Injected read fault: typed io error, artifact untouched.
+                Err(e) => assert!(plan.fired().is_some(), "seed {seed}: uninjected failure {e}"),
+            }
+            let _ = std::fs::remove_file(temp_path(&path));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn fault_free_plan_is_transparent() {
+    let (gen1, _) = two_generations();
+    let dir = scratch("clean");
+    let path = dir.join("model.snap");
+    let mut plan = FaultPlan::none();
+    gen1.save_with(&path, &mut plan).expect("save");
+    let loaded = ModelSnapshot::load_with(&path, &mut plan).expect("load");
+    assert_eq!(loaded.to_bytes(), gen1.to_bytes());
+    assert_eq!(plan.fired(), None);
+    assert_eq!(plan.ops(), 2);
+    // The round trip still feeds a working index.
+    let index = ServeIndex::from_snapshot(&loaded);
+    assert_eq!(index.n_users(), gen1.user_repr().rows());
+    let _ = fio::read_bytes(&path, &mut plan).expect("raw read");
+    let _ = std::fs::remove_dir_all(&dir);
+}

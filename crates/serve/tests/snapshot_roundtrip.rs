@@ -32,7 +32,7 @@ fn bits(m: &gnmr_tensor::Matrix) -> Vec<u32> {
 #[test]
 fn byte_roundtrip_is_bitwise_exact() {
     let model = ready_model();
-    let snap = ModelSnapshot::from_model(&model);
+    let snap = ModelSnapshot::from_model(&model).expect("ready model");
     let loaded = ModelSnapshot::from_bytes(&snap.to_bytes()).expect("round trip");
 
     let (u, v) = model.representations().expect("ready");
@@ -47,13 +47,13 @@ fn byte_roundtrip_is_bitwise_exact() {
         assert_eq!(bits(store.get(name)), bits(m), "param {name} drifted");
     }
     // Serialization is canonical: same model, same bytes.
-    assert_eq!(snap.to_bytes(), ModelSnapshot::from_model(&model).to_bytes());
+    assert_eq!(snap.to_bytes(), ModelSnapshot::from_model(&model).expect("ready model").to_bytes());
 }
 
 #[test]
 fn loaded_snapshot_reproduces_recommendations_bitwise() {
     let model = ready_model();
-    let bytes = ModelSnapshot::from_model(&model).to_bytes();
+    let bytes = ModelSnapshot::from_model(&model).expect("ready model").to_bytes();
     let index = ServeIndex::from_snapshot(&ModelSnapshot::from_bytes(&bytes).expect("round trip"));
     let exclude = [1u32, 4, 7]; // sorted, as the serve API requires
     for user in 0..index.n_users() as u32 {
@@ -77,7 +77,7 @@ fn loaded_snapshot_reproduces_recommendations_bitwise() {
 #[test]
 fn file_roundtrip() {
     let model = ready_model();
-    let snap = ModelSnapshot::from_model(&model);
+    let snap = ModelSnapshot::from_model(&model).expect("ready model");
     let path = std::env::temp_dir().join(format!("gnmr_snapshot_roundtrip_{}.bin", std::process::id()));
     snap.save(&path).expect("save");
     let loaded = ModelSnapshot::load(&path).expect("load");
@@ -101,7 +101,7 @@ fn empty_param_table_roundtrips() {
 #[test]
 fn every_single_byte_flip_is_rejected() {
     let model = ready_model();
-    let bytes = ModelSnapshot::from_model(&model).to_bytes();
+    let bytes = ModelSnapshot::from_model(&model).expect("ready model").to_bytes();
     // Flip one byte at a stride of positions covering header, shape
     // table, payload, and checksum; the checksum (or a header check)
     // must reject every one of them.
@@ -119,7 +119,7 @@ fn every_single_byte_flip_is_rejected() {
 #[test]
 fn truncation_is_rejected() {
     let model = ready_model();
-    let bytes = ModelSnapshot::from_model(&model).to_bytes();
+    let bytes = ModelSnapshot::from_model(&model).expect("ready model").to_bytes();
     for keep in [0, 1, 7, 8, 12, 31, 32, bytes.len() / 2, bytes.len() - 9, bytes.len() - 1] {
         let err = ModelSnapshot::from_bytes(&bytes[..keep])
             .err()
@@ -147,7 +147,7 @@ fn restamp(body_and_sum: &[u8], mutate: impl FnOnce(&mut Vec<u8>)) -> Vec<u8> {
 #[test]
 fn wrong_magic_and_version_are_rejected_with_valid_checksums() {
     let model = ready_model();
-    let bytes = ModelSnapshot::from_model(&model).to_bytes();
+    let bytes = ModelSnapshot::from_model(&model).expect("ready model").to_bytes();
 
     let wrong_magic = restamp(&bytes, |b| b[0] = b'X');
     let err = ModelSnapshot::from_bytes(&wrong_magic).err().expect("wrong magic accepted");
@@ -160,4 +160,66 @@ fn wrong_magic_and_version_are_rejected_with_valid_checksums() {
     let trailing = restamp(&bytes, |b| b.extend_from_slice(&[0, 0, 0, 0]));
     let err = ModelSnapshot::from_bytes(&trailing).err().expect("trailing bytes accepted");
     assert!(err.to_string().contains("trailing"), "{err}");
+}
+
+#[test]
+fn oversized_headers_with_valid_checksums_are_rejected_before_allocating() {
+    // A corrupt header restamped with a valid checksum must be caught
+    // by the structural bounds — declared counts and shapes are checked
+    // against the bytes actually present *before* any allocation, so
+    // none of these can reserve more memory than the file's own size.
+    let model = ready_model();
+    let bytes = ModelSnapshot::from_model(&model).expect("ready model").to_bytes();
+
+    // n_params = u32::MAX: table cannot fit in the remaining bytes.
+    let huge_count = restamp(&bytes, |b| b[12..16].copy_from_slice(&u32::MAX.to_le_bytes()));
+    let err = ModelSnapshot::from_bytes(&huge_count).err().expect("huge param count accepted");
+    assert!(err.to_string().contains("cannot fit"), "{err}");
+
+    // user_repr rows = u32::MAX: declared representation payload
+    // exceeds the file.
+    let huge_repr = restamp(&bytes, |b| b[16..20].copy_from_slice(&u32::MAX.to_le_bytes()));
+    let err = ModelSnapshot::from_bytes(&huge_repr).err().expect("huge repr shape accepted");
+    assert!(
+        err.to_string().contains("representation bytes") || err.to_string().contains("overflow"),
+        "{err}"
+    );
+
+    // Both repr shapes near u32::MAX: rows*cols overflows usize math.
+    let overflow_repr = restamp(&bytes, |b| {
+        for field in [16, 20, 24, 28] {
+            b[field..field + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        }
+    });
+    let err = ModelSnapshot::from_bytes(&overflow_repr).err().expect("overflowing shape accepted");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+    // First param's rows blown up to u32::MAX: the declared table
+    // payload total must be bounded before any matrix allocation.
+    let first_rows = {
+        // Header is 32 bytes; the first table entry is name_len, name,
+        // then rows at offset 32 + 4 + name_len.
+        let name_len = u32::from_le_bytes(bytes[32..36].try_into().unwrap()) as usize;
+        32 + 4 + name_len
+    };
+    let huge_param = restamp(&bytes, |b| {
+        b[first_rows..first_rows + 4].copy_from_slice(&u32::MAX.to_le_bytes())
+    });
+    let err = ModelSnapshot::from_bytes(&huge_param).err().expect("huge param shape accepted");
+    assert!(
+        err.to_string().contains("payload bytes") || err.to_string().contains("overflow"),
+        "{err}"
+    );
+}
+
+#[test]
+fn from_model_on_not_ready_model_is_a_typed_error() {
+    let d = gnmr_data::presets::tiny_movielens(3);
+    let cfg = GnmrConfig { dim: 8, layers: 1, pretrain: false, ..GnmrConfig::default() };
+    let model = Gnmr::new(&d.graph, cfg); // never fit or refreshed
+    assert_eq!(ModelSnapshot::from_model(&model).err(), Some(gnmr_serve::ModelNotReady));
+    assert!(ServeIndex::from_model(&model).is_err());
+    // The io::Error conversion lets save pipelines use one `?` chain.
+    let e: std::io::Error = ModelSnapshot::from_model(&model).err().expect("not ready").into();
+    assert_eq!(e.kind(), std::io::ErrorKind::InvalidInput);
 }

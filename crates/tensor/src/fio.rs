@@ -1,0 +1,346 @@
+//! Fault-injectable file I/O for checkpoint and snapshot artifacts.
+//!
+//! Every byte the workspace persists (training checkpoints, serving
+//! snapshots) travels through two functions here — [`atomic_write`] and
+//! [`read_bytes`] — so crash behavior is a property of *one* code path
+//! (ROADMAP standing constraint), and that path can be driven through
+//! deterministic failure drills:
+//!
+//! * **Atomicity.** [`atomic_write`] writes to a sibling temp file,
+//!   fsyncs it, then renames over the destination (and best-effort
+//!   fsyncs the directory). POSIX rename is atomic, so a crash at any
+//!   byte leaves either the complete old artifact or the complete new
+//!   one — never a blend. A torn temp file is garbage with the wrong
+//!   name; loaders never look at it, and its checksum would reject it
+//!   anyway.
+//! * **Fault injection.** Both functions take a [`FaultPlan`], a
+//!   deterministic script of at most one fault: a torn write at byte
+//!   `N`, a crash between fsync and rename, an ENOSPC-style write
+//!   error, a failed rename, a short read, or a read error. Plans are
+//!   built explicitly ([`FaultPlan::inject`]) for exhaustive sweeps or
+//!   derived from a seed ([`FaultPlan::seeded`]) for randomized drill
+//!   matrices — same seed, same fault, same bytes on disk.
+//!
+//! Faults simulating a *crash* (torn write, crash-before-rename) leave
+//! the temp-file debris in place exactly as a real crash would; faults
+//! simulating an *I/O error* (write/rename/read failures) clean up and
+//! return `Err` like the real syscall. Either way the destination path
+//! is untouched, which is what the crash-drill suites assert.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::rng;
+
+/// One injected fault. `TornWrite`/`ShortRead` positions are byte
+/// offsets, clamped to the artifact length at fire time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// The temp file receives only the first `at` bytes, then the
+    /// process "crashes": the partial temp file stays on disk and the
+    /// destination is never touched.
+    TornWrite {
+        /// Bytes written before the simulated crash.
+        at: usize,
+    },
+    /// The temp file is written and fsynced completely, but the process
+    /// "crashes" before the rename: complete debris, stale destination.
+    CrashBeforeRename,
+    /// The write fails ENOSPC-style; the temp file is removed and
+    /// [`io::ErrorKind::StorageFull`] is returned.
+    WriteError,
+    /// The rename fails; the temp file is removed and
+    /// [`io::ErrorKind::PermissionDenied`] is returned.
+    RenameError,
+    /// The read observes only the first `at` bytes (a reader racing a
+    /// torn write). Returns `Ok` with truncated bytes — the artifact
+    /// checksum is what must catch this.
+    ShortRead {
+        /// Bytes visible to the reader.
+        at: usize,
+    },
+    /// The read fails outright.
+    ReadError,
+}
+
+/// How an armed fault resolves when its operation comes up.
+#[derive(Clone, Copy, Debug)]
+enum Armed {
+    /// Fire exactly this fault.
+    Concrete(Fault),
+    /// Resolve kind and position from these seed bits against the
+    /// operation's direction and byte length at fire time.
+    Seeded(u64),
+}
+
+/// A deterministic script of at most one I/O fault.
+///
+/// Operations ([`atomic_write`] / [`read_bytes`] calls) are counted
+/// from zero; the armed fault fires on its target operation and never
+/// again. [`FaultPlan::none`] is the production plan: zero overhead
+/// beyond one branch per call.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    next_op: u64,
+    armed: Option<(u64, Armed)>,
+    fired: Option<Fault>,
+}
+
+impl FaultPlan {
+    /// No faults: real I/O only.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Arms `fault` to fire on the `op`-th I/O operation (0-based).
+    pub fn inject(op: u64, fault: Fault) -> Self {
+        FaultPlan { next_op: 0, armed: Some((op, Armed::Concrete(fault))), fired: None }
+    }
+
+    /// Derives a one-fault plan from a seed: the target operation
+    /// (among the first 8), the fault kind, and any byte position are
+    /// all pure functions of `seed`, so a drill matrix over seeds
+    /// replays exactly. Positions are resolved against the actual
+    /// artifact length when the fault fires.
+    pub fn seeded(seed: u64) -> Self {
+        let op = rng::derive(seed, 0xF100) % 8;
+        let bits = rng::derive(seed, 0xF101);
+        FaultPlan { next_op: 0, armed: Some((op, Armed::Seeded(bits))), fired: None }
+    }
+
+    /// The fault that has fired, if any — lets drills assert what they
+    /// exercised.
+    pub fn fired(&self) -> Option<Fault> {
+        self.fired
+    }
+
+    /// Number of I/O operations observed so far.
+    pub fn ops(&self) -> u64 {
+        self.next_op
+    }
+
+    /// Advances the op counter; returns the fault to fire on this
+    /// operation, resolved against its direction and length.
+    fn fire(&mut self, write: bool, len: usize) -> Option<Fault> {
+        let op = self.next_op;
+        self.next_op += 1;
+        let (target, armed) = self.armed?;
+        if op != target {
+            return None;
+        }
+        self.armed = None;
+        let fault = match armed {
+            Armed::Concrete(f) => f,
+            Armed::Seeded(bits) => {
+                let at = (bits >> 8) as usize % (len + 1);
+                if write {
+                    match bits % 4 {
+                        0 => Fault::TornWrite { at },
+                        1 => Fault::CrashBeforeRename,
+                        2 => Fault::WriteError,
+                        _ => Fault::RenameError,
+                    }
+                } else if bits % 2 == 0 {
+                    Fault::ShortRead { at }
+                } else {
+                    Fault::ReadError
+                }
+            }
+        };
+        self.fired = Some(fault);
+        Some(fault)
+    }
+}
+
+/// The sibling temp path `atomic_write` stages into: the destination
+/// file name with `.tmp` appended. Exposed so crash drills can inspect
+/// (and attempt to load) the debris a simulated crash leaves behind.
+pub fn temp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+fn crash(which: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::Interrupted, format!("fault injection: simulated crash {which}"))
+}
+
+/// Atomically replaces `path` with `bytes`: temp file → fsync → rename
+/// (→ best-effort directory fsync). On any failure — real or injected —
+/// the destination still holds its previous contents in full.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8], plan: &mut FaultPlan) -> io::Result<()> {
+    let path = path.as_ref();
+    let tmp = temp_path(path);
+    match plan.fire(true, bytes.len()) {
+        Some(Fault::TornWrite { at }) => {
+            let n = at.min(bytes.len());
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes[..n])?;
+            f.sync_all()?;
+            return Err(crash(&format!("after {n} of {} bytes", bytes.len())));
+        }
+        Some(Fault::CrashBeforeRename) => {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+            return Err(crash("before rename"));
+        }
+        Some(Fault::WriteError) => {
+            let _ = fs::remove_file(&tmp);
+            return Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "fault injection: no space left on device",
+            ));
+        }
+        Some(Fault::RenameError) => {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+            let _ = fs::remove_file(&tmp);
+            return Err(io::Error::new(
+                io::ErrorKind::PermissionDenied,
+                "fault injection: rename failed",
+            ));
+        }
+        Some(Fault::ShortRead { .. }) | Some(Fault::ReadError) | None => {}
+    }
+    let mut f = File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    fs::rename(&tmp, path)?;
+    // Durability of the rename itself needs the directory entry synced;
+    // best-effort (opening a directory read-only works on Linux, and a
+    // failure here cannot un-rename).
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads `path` in full, subject to the plan's read faults. A
+/// [`Fault::ShortRead`] returns `Ok` with a truncated prefix — the
+/// caller's checksum validation is the defense, and the drills assert
+/// it holds.
+pub fn read_bytes(path: impl AsRef<Path>, plan: &mut FaultPlan) -> io::Result<Vec<u8>> {
+    let mut bytes = fs::read(path)?;
+    match plan.fire(false, bytes.len()) {
+        Some(Fault::ShortRead { at }) => {
+            bytes.truncate(at.min(bytes.len()));
+            Ok(bytes)
+        }
+        Some(Fault::ReadError) => {
+            Err(io::Error::other("fault injection: read failed"))
+        }
+        _ => Ok(bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gnmr_fio_{tag}_{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_survives_faults() {
+        let dir = scratch_dir("atomic");
+        let path = dir.join("artifact.bin");
+        let old = b"old generation".to_vec();
+        let new = b"new generation, longer".to_vec();
+        atomic_write(&path, &old, &mut FaultPlan::none()).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), old);
+
+        for fault in [
+            Fault::TornWrite { at: 0 },
+            Fault::TornWrite { at: 5 },
+            Fault::TornWrite { at: new.len() },
+            Fault::CrashBeforeRename,
+            Fault::WriteError,
+            Fault::RenameError,
+        ] {
+            let mut plan = FaultPlan::inject(0, fault);
+            let err = atomic_write(&path, &new, &mut plan).unwrap_err();
+            assert_eq!(plan.fired(), Some(fault));
+            assert_eq!(fs::read(&path).unwrap(), old, "{fault:?} damaged the destination: {err}");
+            let _ = fs::remove_file(temp_path(&path));
+        }
+
+        atomic_write(&path, &new, &mut FaultPlan::none()).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), new);
+        assert!(!temp_path(&path).exists(), "temp file left after clean write");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_faults_leave_inspectable_debris() {
+        let dir = scratch_dir("debris");
+        let path = dir.join("artifact.bin");
+        let bytes = b"0123456789".to_vec();
+        let mut plan = FaultPlan::inject(0, Fault::TornWrite { at: 4 });
+        atomic_write(&path, &bytes, &mut plan).unwrap_err();
+        assert_eq!(fs::read(temp_path(&path)).unwrap(), b"0123");
+        assert!(!path.exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn faults_fire_on_their_target_op_only() {
+        let dir = scratch_dir("target");
+        let path = dir.join("artifact.bin");
+        let mut plan = FaultPlan::inject(2, Fault::WriteError);
+        atomic_write(&path, b"a", &mut plan).unwrap(); // op 0
+        atomic_write(&path, b"b", &mut plan).unwrap(); // op 1
+        let err = atomic_write(&path, b"c", &mut plan).unwrap_err(); // op 2
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        atomic_write(&path, b"d", &mut plan).unwrap(); // op 3: one-shot
+        assert_eq!(fs::read(&path).unwrap(), b"d");
+        assert_eq!(plan.ops(), 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_read_truncates_and_read_error_fails() {
+        let dir = scratch_dir("read");
+        let path = dir.join("artifact.bin");
+        atomic_write(&path, b"full contents", &mut FaultPlan::none()).unwrap();
+        let mut plan = FaultPlan::inject(0, Fault::ShortRead { at: 4 });
+        assert_eq!(read_bytes(&path, &mut plan).unwrap(), b"full");
+        let mut plan = FaultPlan::inject(0, Fault::ReadError);
+        assert!(read_bytes(&path, &mut plan).is_err());
+        assert_eq!(read_bytes(&path, &mut FaultPlan::none()).unwrap(), b"full contents");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        for seed in 0..64u64 {
+            let dir = scratch_dir(&format!("seed{seed}"));
+            let path = dir.join("artifact.bin");
+            let run = || {
+                let mut plan = FaultPlan::seeded(seed);
+                let mut outcome = Vec::new();
+                for i in 0..4u8 {
+                    let r = atomic_write(&path, &[i; 32], &mut plan);
+                    outcome.push(r.map(|()| 0u8).map_err(|e| e.kind()));
+                    let r = read_bytes(&path, &mut plan);
+                    outcome.push(r.map(|b| b.len() as u8).map_err(|e| e.kind()));
+                    let _ = fs::remove_file(temp_path(&path));
+                }
+                (outcome, plan.fired())
+            };
+            let a = run();
+            let _ = fs::remove_file(&path);
+            let b = run();
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+}

@@ -21,6 +21,7 @@
 
 pub mod arena;
 pub mod dense;
+pub mod fio;
 pub mod init;
 pub mod kernels;
 pub mod par;
@@ -28,6 +29,7 @@ pub mod rng;
 pub mod sparse;
 pub mod stats;
 pub mod sync;
+pub mod wire;
 
 pub use arena::Arena;
 pub use dense::Matrix;

@@ -131,6 +131,77 @@ fn packed_matmul_path_preserves_training_bytes() {
 }
 
 #[test]
+fn resume_equivalence_is_thread_count_invariant() {
+    // The crash-safety half of the determinism contract, crossed with
+    // the thread sweep: a run checkpointed and killed mid-training,
+    // then resumed by a fresh process, must land bitwise on the
+    // uninterrupted run — parameters, fused representations, and full
+    // recommendation lists — at every thread count. As above,
+    // `set_min_work(Some(1))` forces the tiny model through the
+    // parallel kernel paths so the sweep is not vacuous.
+    gnmr::tensor::kernels::set_min_work(Some(1));
+    let total_epochs = 4;
+    let run = |threads: usize, kill_after: Option<usize>| {
+        par::set_threads(Some(threads));
+        let data = gnmr::data::presets::tiny_movielens(3);
+        let cfg = GnmrConfig { pretrain: false, seed: 11, ..GnmrConfig::default() };
+        let tcfg = |epochs| TrainConfig { epochs, seed: 11, ..TrainConfig::fast_test() };
+        let mut model = Gnmr::new(&data.graph, cfg);
+        if let Some(kill_after) = kill_after {
+            let dir = std::env::temp_dir()
+                .join(format!("gnmr_det_resume_{threads}_{}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("scratch dir");
+            let path = dir.join("run.ckpt");
+            // Phase 1: checkpoint every epoch, "crash" at kill_after.
+            let mut ck = Checkpointing::every(&path, 1);
+            model.fit_checkpointed(&data.graph, &tcfg(kill_after), &mut ck).expect("phase 1");
+            // Phase 2: a fresh model resumes from disk and finishes.
+            model = Gnmr::new(&data.graph, cfg);
+            let mut ck = Checkpointing::every(&path, 1);
+            model.fit_checkpointed(&data.graph, &tcfg(total_epochs), &mut ck).expect("resume");
+            let _ = std::fs::remove_dir_all(&dir);
+        } else {
+            model.fit(&data.graph, &tcfg(total_epochs));
+        }
+        let params: Vec<(String, Vec<u32>)> = model
+            .params()
+            .iter()
+            .map(|(name, m)| (name.to_string(), m.data().iter().map(|v| v.to_bits()).collect()))
+            .collect();
+        let (u, v) = model.representations().expect("ready");
+        let reprs: Vec<Vec<u32>> = [u, v]
+            .iter()
+            .map(|m| m.data().iter().map(|v| v.to_bits()).collect())
+            .collect();
+        let recs: Vec<Vec<(u32, f32)>> = (0..data.graph.n_users() as u32)
+            .map(|user| model.recommend(user, 10, &[]))
+            .collect();
+        (params, reprs, recs)
+    };
+    let result = std::panic::catch_unwind(|| {
+        for threads in [1usize, 2, 4] {
+            let straight = run(threads, None);
+            let resumed = run(threads, Some(2));
+            assert!(!straight.0.is_empty());
+            assert_eq!(straight.0, resumed.0, "{threads} threads: params diverged after resume");
+            assert_eq!(
+                straight.1, resumed.1,
+                "{threads} threads: representations diverged after resume"
+            );
+            assert_eq!(
+                straight.2, resumed.2,
+                "{threads} threads: recommendations diverged after resume"
+            );
+        }
+    });
+    gnmr::tensor::kernels::set_min_work(None);
+    par::set_threads(None);
+    if let Err(payload) = result {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+#[test]
 fn datasets_and_baselines_are_reproducible() {
     let a = gnmr::data::presets::tiny_taobao(9);
     let b = gnmr::data::presets::tiny_taobao(9);
